@@ -1,0 +1,69 @@
+//! The approximable-kernel interface shared by all application models.
+//!
+//! Each kernel is a deterministic function of its configuration and seed;
+//! running it against [`PreciseTransport`] yields the reference output and
+//! running it against an approximate transport yields the degraded output.
+//! The per-application error metric follows the paper's §5.4 ("we extend
+//! application-specific accuracy metrics based on prior approximate
+//! computing research").
+//!
+//! [`PreciseTransport`]: crate::transport::PreciseTransport
+
+use anoc_core::metrics::mean_relative_error;
+
+use crate::transport::{BlockTransport, PreciseTransport};
+
+/// An application kernel whose shared data travels through a transport.
+pub trait ApproxKernel {
+    /// Benchmark name (matches the traffic model's naming).
+    fn name(&self) -> &'static str;
+
+    /// Runs the kernel, routing all approximable shared data through
+    /// `transport`, and returns the output vector.
+    fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64>;
+
+    /// Application-specific output error in `[0, 1]` between the precise
+    /// and approximate outputs. Defaults to the mean relative error.
+    fn output_error(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        mean_relative_error(precise, approx, 1e-6)
+    }
+}
+
+/// Convenience: runs a kernel precisely and through `transport`, returning
+/// `(precise, approximate, output_error)`.
+pub fn evaluate(
+    kernel: &dyn ApproxKernel,
+    transport: &mut dyn BlockTransport,
+) -> (Vec<f64>, Vec<f64>, f64) {
+    let precise = kernel.run(&mut PreciseTransport);
+    let approx = kernel.run(transport);
+    let err = kernel.output_error(&precise, &approx);
+    (precise, approx, err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl ApproxKernel for Doubler {
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+        fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64> {
+            transport
+                .transmit_f32(&[1.0, 2.0, 3.0])
+                .into_iter()
+                .map(|v| (v * 2.0) as f64)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn evaluate_with_identity_gives_zero_error() {
+        let (p, a, err) = evaluate(&Doubler, &mut PreciseTransport);
+        assert_eq!(p, a);
+        assert_eq!(err, 0.0);
+        assert_eq!(Doubler.name(), "doubler");
+    }
+}

@@ -1,0 +1,108 @@
+//! The SSCA2 kernel wrapper: betweenness centrality on an R-MAT graph.
+//!
+//! §5.1: "we explore the approximation opportunities in big data analytics by
+//! modifying SSCA2, a data intensive graph benchmark, to evaluate betweenness
+//! centrality (BC)... We approximate the floating-point pair-wise
+//! dependencies that is used for centrality calculation." §5.4: "we evaluate
+//! the pair-wise betweenness centrality difference between the approximate
+//! output and its precise counterpart for error calculation."
+
+use crate::graph::{betweenness_centrality, Graph};
+use crate::kernel::ApproxKernel;
+use crate::transport::BlockTransport;
+
+/// The SSCA2 kernel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Ssca2 {
+    /// Number of graph vertices (power of two, as R-MAT requires).
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// BFS sources evaluated (SSCA2 samples on big graphs).
+    pub sources: usize,
+    /// Graph-generation seed.
+    pub seed: u64,
+}
+
+impl Ssca2 {
+    /// A BC problem on an R-MAT graph of `nodes` vertices.
+    pub fn new(nodes: usize, edges: usize, seed: u64) -> Self {
+        Ssca2 {
+            nodes,
+            edges,
+            sources: nodes,
+            seed,
+        }
+    }
+
+    /// The generated graph (exposed for inspection and benches).
+    pub fn graph(&self) -> Graph {
+        Graph::rmat(self.nodes, self.edges, self.seed)
+    }
+}
+
+impl Default for Ssca2 {
+    fn default() -> Self {
+        Ssca2::new(128, 512, 1)
+    }
+}
+
+impl ApproxKernel for Ssca2 {
+    fn name(&self) -> &'static str {
+        "ssca2"
+    }
+
+    fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64> {
+        let graph = self.graph();
+        betweenness_centrality(&graph, self.sources, Some(transport))
+    }
+
+    /// Pair-wise BC difference, normalised by the precise score (guarded for
+    /// low-centrality vertices).
+    fn output_error(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        anoc_core::metrics::mean_relative_error(precise, approx, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::evaluate;
+    use crate::transport::{ApproxTransport, PreciseTransport};
+    use anoc_core::threshold::ErrorThreshold;
+
+    #[test]
+    fn identifies_central_entities() {
+        let k = Ssca2::new(64, 256, 3);
+        let bc = k.run(&mut PreciseTransport);
+        assert_eq!(bc.len(), 64);
+        // R-MAT hubs must rank far above the median vertex.
+        let mut sorted = bc.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[32];
+        let max = sorted[63];
+        assert!(max > median * 3.0 + 1.0, "max {max} median {median}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let k = Ssca2::new(64, 256, 4);
+        assert_eq!(k.run(&mut PreciseTransport), k.run(&mut PreciseTransport));
+    }
+
+    #[test]
+    fn pairwise_bc_error_is_bounded_at_10_percent() {
+        let k = Ssca2::new(64, 256, 5);
+        let mut t = ApproxTransport::di_vaxx(ErrorThreshold::from_percent(10).unwrap());
+        let (_, _, err) = evaluate(&k, &mut t);
+        assert!(err < 0.10, "pair-wise BC error {err}");
+    }
+
+    #[test]
+    fn graph_accessor_matches_run() {
+        let k = Ssca2::new(32, 96, 6);
+        let g = k.graph();
+        assert_eq!(g.len(), 32);
+        assert_eq!(g.num_edges(), 96);
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 9: average packet latency breakdown + data quality across the
+//! 8 benchmarks × 5 mechanisms matrix.
+
+use anoc_bench::{print_config, timed_config};
+use anoc_harness::experiments::{fig9, render_fig9, BenchmarkMatrix};
+use anoc_harness::runner::run_benchmark;
+use anoc_harness::Mechanism;
+use anoc_traffic::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let matrix = BenchmarkMatrix::run(&print_config(), 42);
+    println!("\n{}", render_fig9(&fig9(&matrix)));
+    let cfg = timed_config();
+    let mut group = c.benchmark_group("fig09");
+    group.sample_size(10);
+    for m in [Mechanism::Baseline, Mechanism::DiVaxx, Mechanism::FpVaxx] {
+        group.bench_function(format!("ssca2/{m}"), |b| {
+            b.iter(|| run_benchmark(Benchmark::Ssca2, m, &cfg, 42).avg_packet_latency())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

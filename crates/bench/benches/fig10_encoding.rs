@@ -1,0 +1,29 @@
+//! Figure 10: encoded-word fraction (exact vs approximated) and compression
+//! ratio per mechanism.
+
+use anoc_bench::{print_config, timed_config};
+use anoc_harness::experiments::{fig10, render_fig10, BenchmarkMatrix};
+use anoc_harness::runner::run_benchmark;
+use anoc_harness::Mechanism;
+use anoc_traffic::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let matrix = BenchmarkMatrix::run(&print_config(), 42);
+    println!("\n{}", render_fig10(&fig10(&matrix)));
+    let cfg = timed_config();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("blackscholes/fp-vaxx/encoded-fraction", |b| {
+        b.iter(|| {
+            run_benchmark(Benchmark::Blackscholes, Mechanism::FpVaxx, &cfg, 42)
+                .stats
+                .encode
+                .encoded_fraction()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 11: injected data flits normalized to the uncompressed baseline.
+
+use anoc_bench::{print_config, timed_config};
+use anoc_harness::experiments::{fig11, render_fig11, BenchmarkMatrix};
+use anoc_harness::runner::run_benchmark;
+use anoc_harness::Mechanism;
+use anoc_traffic::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let matrix = BenchmarkMatrix::run(&print_config(), 42);
+    println!("\n{}", render_fig11(&fig11(&matrix)));
+    let cfg = timed_config();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("x264/fp-vaxx/normalized-flits", |b| {
+        b.iter(|| {
+            run_benchmark(Benchmark::X264, Mechanism::FpVaxx, &cfg, 42)
+                .stats
+                .normalized_data_flits()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

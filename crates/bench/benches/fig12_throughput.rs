@@ -1,0 +1,61 @@
+//! Figure 12: packet latency vs injection rate under Uniform Random and
+//! Transpose synthetic traffic carrying blackscholes / streamcluster data.
+
+use anoc_bench::timed_config;
+use anoc_harness::experiments::{fig12, render_fig12};
+use anoc_harness::runner::run_with_source;
+use anoc_harness::{Mechanism, SystemConfig};
+use anoc_traffic::{Benchmark, DataPool, DestPattern, SyntheticTraffic};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = SystemConfig::paper().with_sim_cycles(6_000);
+    let rates: Vec<f64> = (1..=14).map(|i| i as f64 * 0.05).collect();
+    for (bench, pattern, label) in [
+        (
+            Benchmark::Blackscholes,
+            DestPattern::UniformRandom,
+            "blackscholes UR",
+        ),
+        (
+            Benchmark::Blackscholes,
+            DestPattern::Transpose,
+            "blackscholes TR",
+        ),
+        (
+            Benchmark::Streamcluster,
+            DestPattern::UniformRandom,
+            "streamcluster UR",
+        ),
+        (
+            Benchmark::Streamcluster,
+            DestPattern::Transpose,
+            "streamcluster TR",
+        ),
+    ] {
+        let series = fig12(bench, pattern, &rates, &config, 42);
+        println!("\n{}", render_fig12(label, &series));
+    }
+    let cfg = timed_config();
+    let pool = DataPool::from_benchmark(Benchmark::Blackscholes, 256, 42);
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("UR/0.3/fp-vaxx", |b| {
+        b.iter(|| {
+            let mut src = SyntheticTraffic::new(
+                DestPattern::UniformRandom,
+                cfg.noc.num_nodes(),
+                pool.clone(),
+                0.3,
+                0.25,
+                0.75,
+                42,
+            );
+            run_with_source(&mut src, Mechanism::FpVaxx, &cfg).avg_packet_latency()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

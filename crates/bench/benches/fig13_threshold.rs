@@ -1,0 +1,33 @@
+//! Figure 13: error-threshold sensitivity (5% / 10% / 20%).
+
+use anoc_harness::experiments::{fig13, render_sensitivity};
+use anoc_harness::runner::run_benchmark;
+use anoc_harness::{Mechanism, SystemConfig};
+use anoc_traffic::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = SystemConfig::paper().with_sim_cycles(5_000);
+    let rows = fig13(&config, 42);
+    println!(
+        "\n{}",
+        render_sensitivity(
+            "Figure 13: Error Threshold Sensitivity (packet latency)",
+            &rows
+        )
+    );
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    for pct in [5u32, 20] {
+        let cfg = SystemConfig::paper()
+            .with_sim_cycles(1_000)
+            .with_threshold(pct);
+        group.bench_function(format!("swaptions/fp-vaxx@{pct}"), |b| {
+            b.iter(|| run_benchmark(Benchmark::Swaptions, Mechanism::FpVaxx, &cfg, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 14: approximable-packet-ratio sensitivity (25% / 50% / 75%).
+
+use anoc_harness::experiments::{fig14, render_sensitivity};
+use anoc_harness::runner::run_benchmark;
+use anoc_harness::{Mechanism, SystemConfig};
+use anoc_traffic::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = SystemConfig::paper().with_sim_cycles(5_000);
+    let rows = fig14(&config, 42);
+    println!(
+        "\n{}",
+        render_sensitivity(
+            "Figure 14: Approximable Packets Ratio Sensitivity (packet latency)",
+            &rows
+        )
+    );
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    for ratio in [0.25f64, 0.75] {
+        let cfg = SystemConfig::paper()
+            .with_sim_cycles(1_000)
+            .with_approx_ratio(ratio);
+        group.bench_function(format!("ssca2/di-vaxx@{ratio}"), |b| {
+            b.iter(|| run_benchmark(Benchmark::Ssca2, Mechanism::DiVaxx, &cfg, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 15: dynamic power normalized to baseline, plus §5.5 area.
+
+use anoc_bench::{print_config, timed_config};
+use anoc_harness::experiments::{fig15, render_fig15, BenchmarkMatrix};
+use anoc_harness::runner::run_benchmark;
+use anoc_harness::{AreaModel, EnergyModel, Mechanism};
+use anoc_traffic::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let matrix = BenchmarkMatrix::run(&print_config(), 42);
+    println!("\n{}", render_fig15(&fig15(&matrix)));
+    let area = AreaModel::default();
+    println!(
+        "Section 5.5 area: DI-VAXX {:.4} mm^2 (paper 0.0037), FP-VAXX {:.4} mm^2 (paper 0.0029)",
+        area.di_vaxx_encoder_mm2(),
+        area.fp_vaxx_encoder_mm2()
+    );
+    let cfg = timed_config();
+    let model = EnergyModel::default();
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("x264/fp-vaxx/dynamic-power", |b| {
+        b.iter(|| {
+            let r = run_benchmark(Benchmark::X264, Mechanism::FpVaxx, &cfg, 42);
+            model.dynamic_power(&r.activity)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 16: application output accuracy and normalized performance at
+//! data error budgets of 0/10/20%.
+
+use anoc_apps::kernel::evaluate;
+use anoc_apps::transport::ApproxTransport;
+use anoc_core::threshold::ErrorThreshold;
+use anoc_harness::experiments::{fig16, render_fig16};
+use anoc_harness::SystemConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = SystemConfig::paper().with_sim_cycles(5_000);
+    println!("\n{}", render_fig16(&fig16(&config, 42)));
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    group.bench_function("blackscholes/kernel-through-fp-vaxx", |b| {
+        b.iter(|| {
+            let kernel = anoc_apps::blackscholes::Blackscholes::new(256, 5);
+            let mut t = ApproxTransport::fp_vaxx(ErrorThreshold::from_percent(10).expect("valid"));
+            evaluate(&kernel, &mut t).2
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

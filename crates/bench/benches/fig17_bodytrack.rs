@@ -1,0 +1,24 @@
+//! Figure 17: precise vs approximate bodytrack output (PGM artefacts).
+
+use anoc_harness::experiments::fig17;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let r = fig17(42);
+    let dir = std::path::Path::new("target/fig17");
+    std::fs::create_dir_all(dir).expect("create target/fig17");
+    std::fs::write(dir.join("bodytrack_precise.pgm"), &r.precise_pgm).expect("write");
+    std::fs::write(dir.join("bodytrack_approx.pgm"), &r.approx_pgm).expect("write");
+    println!(
+        "\nFigure 17: bodytrack output-vector difference {:.4}% (paper: 2.4%); \
+         frames in target/fig17/",
+        r.vector_difference * 100.0
+    );
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    group.bench_function("bodytrack/full-pipeline", |b| b.iter(|| fig17(42)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the hot paths: the AVCL, frequent-pattern matching,
+//! dictionary encode, and the NoC simulation kernel itself.
+
+use anoc_compression::di::{DiConfig, DiEncoder};
+use anoc_compression::fp::FpEncoder;
+use anoc_compression::fpc;
+use anoc_core::avcl::Avcl;
+use anoc_core::codec::BlockEncoder;
+use anoc_core::data::{CacheBlock, DataType, NodeId};
+use anoc_core::rng::Pcg32;
+use anoc_core::threshold::ErrorThreshold;
+use anoc_noc::{NocConfig, NocSim, NodeCodec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let t = ErrorThreshold::from_percent(10).expect("valid");
+    let avcl = Avcl::new(t);
+    let mut rng = Pcg32::seed_from_u64(1);
+    let words: Vec<u32> = (0..1024).map(|_| rng.next_u32()).collect();
+
+    c.bench_function("micro/avcl/approx_pattern_int", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &words {
+                acc ^= avcl.approx_pattern(w, DataType::Int).mask();
+            }
+            acc
+        })
+    });
+
+    c.bench_function("micro/fpc/best_match_exact", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .filter(|w| fpc::best_match(**w, 0).is_some())
+                .count()
+        })
+    });
+
+    let blocks: Vec<CacheBlock> = (0..64)
+        .map(|i| CacheBlock::from_i32(&[i * 37; 16]))
+        .collect();
+    c.bench_function("micro/fp_vaxx/encode_block", |b| {
+        let mut enc = FpEncoder::fp_vaxx(avcl);
+        b.iter(|| {
+            let mut bits = 0u32;
+            for block in &blocks {
+                bits += enc.encode(block, NodeId(1)).payload_bits();
+            }
+            bits
+        })
+    });
+
+    c.bench_function("micro/di_vaxx/encode_block", |b| {
+        let mut enc = DiEncoder::di_vaxx(DiConfig::for_nodes(4), Avcl::new(t));
+        b.iter(|| {
+            let mut bits = 0u32;
+            for block in &blocks {
+                bits += enc.encode(block, NodeId(1)).payload_bits();
+            }
+            bits
+        })
+    });
+
+    let mut group = c.benchmark_group("micro/noc");
+    group.sample_size(20);
+    group.bench_function("step_4x4_cmesh_idle", |b| {
+        let cfg = NocConfig::paper_4x4_cmesh();
+        let n = cfg.num_nodes();
+        let mut sim = NocSim::new(cfg, (0..n).map(|_| NodeCodec::baseline()).collect());
+        b.iter(|| {
+            sim.step();
+            sim.cycle()
+        })
+    });
+    group.bench_function("deliver_1000_packets", |b| {
+        b.iter(|| {
+            let cfg = NocConfig::paper_4x4_cmesh();
+            let n = cfg.num_nodes();
+            let mut sim = NocSim::new(cfg, (0..n).map(|_| NodeCodec::baseline()).collect());
+            let mut rng = Pcg32::seed_from_u64(7);
+            for _ in 0..1000 {
+                let s = rng.below(32);
+                let mut d = rng.below(32);
+                while d == s {
+                    d = rng.below(32);
+                }
+                sim.enqueue_control(NodeId(s as u16), NodeId(d as u16));
+            }
+            assert!(sim.drain(100_000));
+            sim.stats().packets
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

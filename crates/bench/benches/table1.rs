@@ -1,0 +1,21 @@
+//! Table 1: prints the simulated configuration; times config construction
+//! and validation.
+
+use anoc_harness::SystemConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\nTable 1: APPROX-NoC Simulation Configuration");
+    for (k, v) in SystemConfig::paper().table1_rows() {
+        println!("{k:<34} {v}");
+    }
+    c.bench_function("table1/config_build", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::paper();
+            std::hint::black_box(cfg.noc.validate().is_ok())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

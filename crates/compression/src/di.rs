@@ -1,0 +1,414 @@
+//! DI-COMP and DI-VAXX: dynamic dictionary block codecs (§4.2).
+//!
+//! The decoder learns recurring patterns and announces encoded indices to the
+//! paired encoders via notifications; the encoder compresses any word whose
+//! pattern (exactly, or approximately through the DI-VAXX TCAM) has an
+//! announced index for the packet's destination. Words that miss travel raw
+//! with a one-bit flag, and the decoder observes them to keep learning.
+
+use anoc_core::avcl::Avcl;
+use anoc_core::codec::{
+    BlockDecoder, BlockEncoder, CodecActivity, DecodeResult, EncodedBlock, Notification, WordCode,
+};
+use anoc_core::data::{CacheBlock, NodeId};
+
+use crate::dictionary::{DecoderPmt, EncoderPmt, DEFAULT_PMT_ENTRIES};
+
+/// Configuration shared by the dictionary codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiConfig {
+    /// PMT entries at both the encoder and the decoder (Table 1: 8).
+    pub pmt_entries: usize,
+    /// Number of nodes in the network (for valid-bit / index vectors).
+    pub num_nodes: usize,
+    /// DI-VAXX only: confirm TCAM hits against the precise word's own
+    /// tolerance so the error-threshold guarantee is exact.
+    pub strict_threshold: bool,
+    /// Decay (halve) frequency counters every this many observed words; 0
+    /// disables aging.
+    pub decay_interval: u64,
+}
+
+impl DiConfig {
+    /// The paper's configuration for a network of `num_nodes` nodes.
+    pub fn for_nodes(num_nodes: usize) -> Self {
+        DiConfig {
+            pmt_entries: DEFAULT_PMT_ENTRIES,
+            num_nodes,
+            strict_threshold: true,
+            decay_interval: 4096,
+        }
+    }
+}
+
+/// The DI-COMP / DI-VAXX encoder for one node.
+#[derive(Debug, Clone)]
+pub struct DiEncoder {
+    pmt: EncoderPmt,
+    avcl: Option<Avcl>,
+    config: DiConfig,
+    index_bits: u8,
+    words_seen: u64,
+    activity: CodecActivity,
+}
+
+impl DiEncoder {
+    /// Creates a DI-COMP (exact) encoder.
+    pub fn di_comp(config: DiConfig) -> Self {
+        DiEncoder {
+            pmt: EncoderPmt::di_comp(config.pmt_entries, config.num_nodes),
+            avcl: None,
+            config,
+            index_bits: index_bits(config.pmt_entries),
+            words_seen: 0,
+            activity: CodecActivity::default(),
+        }
+    }
+
+    /// Creates a DI-VAXX encoder whose APCL uses `avcl`.
+    pub fn di_vaxx(config: DiConfig, avcl: Avcl) -> Self {
+        DiEncoder {
+            pmt: EncoderPmt::di_vaxx(config.pmt_entries, config.num_nodes, avcl),
+            avcl: Some(avcl),
+            config,
+            index_bits: index_bits(config.pmt_entries),
+            words_seen: 0,
+            activity: CodecActivity::default(),
+        }
+    }
+
+    /// Whether this encoder approximates (DI-VAXX).
+    pub fn is_vaxx(&self) -> bool {
+        self.avcl.is_some()
+    }
+
+    /// Read access to the PMT (for inspection in tests/ablation benches).
+    pub fn pmt(&self) -> &EncoderPmt {
+        &self.pmt
+    }
+}
+
+fn index_bits(entries: usize) -> u8 {
+    (usize::BITS - (entries.max(2) - 1).leading_zeros()) as u8
+}
+
+impl BlockEncoder for DiEncoder {
+    fn name(&self) -> &'static str {
+        if self.is_vaxx() {
+            "DI-VAXX"
+        } else {
+            "DI-COMP"
+        }
+    }
+
+    fn encode(&mut self, block: &CacheBlock, dest: NodeId) -> EncodedBlock {
+        let approx_on = self.is_vaxx() && block.is_approximable();
+        let mut codes = Vec::with_capacity(block.len());
+        for &word in block.words() {
+            self.activity.words_encoded += 1;
+            self.words_seen += 1;
+            if self.config.decay_interval > 0
+                && self.words_seen.is_multiple_of(self.config.decay_interval)
+            {
+                self.pmt.decay();
+            }
+            // Approximate (TCAM) path first for approximable data: the paper
+            // always prefers the pre-computed approximate pattern match
+            // because it is what the TCAM returns in one search.
+            let hit = if approx_on {
+                self.activity.tcam_searches += 1;
+                self.pmt
+                    .lookup_approx(word, dest, block.dtype(), self.config.strict_threshold)
+                    .map(|rec| (rec, rec.original != word))
+                    .or_else(|| self.pmt.lookup_exact(word, dest).map(|rec| (rec, false)))
+            } else {
+                self.activity.cam_searches += 1;
+                self.pmt.lookup_exact(word, dest).map(|rec| (rec, false))
+            };
+            match hit {
+                Some((rec, approx)) => codes.push(WordCode::Dict {
+                    index: rec.index,
+                    index_bits: self.index_bits,
+                    approx,
+                    pattern: rec.original,
+                }),
+                None => codes.push(WordCode::Raw {
+                    word,
+                    prefix_bits: 1,
+                }),
+            }
+        }
+        EncodedBlock::new(codes, block.dtype(), block.is_approximable())
+    }
+
+    fn apply_notification(&mut self, from: NodeId, note: Notification) {
+        self.activity.notifications += 1;
+        self.activity.table_updates += 1;
+        if self.is_vaxx() {
+            self.activity.avcl_ops += 1; // APCL runs at install time
+        }
+        self.pmt.apply(from, note);
+    }
+
+    fn activity(&self) -> CodecActivity {
+        self.activity
+    }
+}
+
+/// The dictionary decoder for one node — identical for DI-COMP and DI-VAXX
+/// (a plain CAM indexed by the encoded index, §4.2.1).
+#[derive(Debug, Clone)]
+pub struct DiDecoder {
+    pmt: DecoderPmt,
+    config: DiConfig,
+    words_seen: u64,
+    activity: CodecActivity,
+}
+
+impl DiDecoder {
+    /// Creates a dictionary decoder.
+    pub fn new(config: DiConfig) -> Self {
+        DiDecoder {
+            pmt: DecoderPmt::new(config.pmt_entries, config.num_nodes),
+            config,
+            words_seen: 0,
+            activity: CodecActivity::default(),
+        }
+    }
+
+    /// Stale-index races observed (resolved by the consistency protocol).
+    pub fn races(&self) -> u64 {
+        self.pmt.races()
+    }
+
+    /// Read access to the PMT.
+    pub fn pmt(&self) -> &DecoderPmt {
+        &self.pmt
+    }
+}
+
+impl BlockDecoder for DiDecoder {
+    fn name(&self) -> &'static str {
+        "DI-decoder"
+    }
+
+    fn decode(&mut self, encoded: &EncodedBlock, src: NodeId) -> DecodeResult {
+        let mut words = Vec::with_capacity(encoded.len());
+        let mut notifications = Vec::new();
+        for code in encoded.codes() {
+            self.activity.words_decoded += 1;
+            self.words_seen += 1;
+            if self.config.decay_interval > 0
+                && self.words_seen.is_multiple_of(self.config.decay_interval)
+            {
+                self.pmt.decay();
+            }
+            match *code {
+                WordCode::Raw { word, .. } => {
+                    // Learning happens on the uncompressed stream.
+                    let notes = self.pmt.observe_raw(word, src, encoded.dtype());
+                    self.activity.notifications += notes.len() as u64;
+                    notifications.extend(notes);
+                    words.push(word);
+                }
+                WordCode::Dict { index, pattern, .. } => {
+                    self.activity.cam_searches += 1;
+                    self.pmt.record_hit(index, pattern);
+                    words.push(pattern);
+                }
+                ref other => {
+                    unreachable!("dictionary stream cannot contain {other:?}")
+                }
+            }
+        }
+        DecodeResult {
+            block: CacheBlock::new(words, encoded.dtype(), encoded.is_approximable()),
+            notifications,
+        }
+    }
+
+    fn activity(&self) -> CodecActivity {
+        self.activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anoc_core::avcl::Avcl;
+    use anoc_core::data::DataType;
+    use anoc_core::threshold::ErrorThreshold;
+
+    const N: usize = 4;
+
+    fn config() -> DiConfig {
+        DiConfig::for_nodes(N)
+    }
+
+    /// Runs blocks from node 0's encoder to node 1's decoder, delivering
+    /// notifications instantly, and returns the decoded blocks.
+    fn run_pair(
+        enc: &mut DiEncoder,
+        dec: &mut DiDecoder,
+        blocks: &[CacheBlock],
+    ) -> Vec<CacheBlock> {
+        let dest = NodeId(1);
+        let src = NodeId(0);
+        let mut out = Vec::new();
+        for b in blocks {
+            let e = enc.encode(b, dest);
+            let r = dec.decode(&e, src);
+            for (to, note) in r.notifications {
+                assert_eq!(to, src, "single-pair test notifies only the source");
+                enc.apply_notification(dest, note);
+            }
+            out.push(r.block);
+        }
+        out
+    }
+
+    #[test]
+    fn di_comp_learns_and_compresses() {
+        let mut enc = DiEncoder::di_comp(config());
+        let mut dec = DiDecoder::new(config());
+        let block = CacheBlock::from_i32(&[0x7777, 0x7777, 0x7777, 0x7777]);
+        // First block: all raw (learning); after the install, hits.
+        let out = run_pair(&mut enc, &mut dec, &[block.clone(), block.clone()]);
+        assert_eq!(out[0], block);
+        assert_eq!(out[1], block);
+        let e = enc.encode(&block, NodeId(1));
+        let s = e.stats();
+        assert_eq!(s.exact_encoded, 4, "all words compress after learning");
+        assert_eq!(e.payload_bits(), 4 * 4); // 1 flag + 3 index bits each
+        assert_eq!(enc.name(), "DI-COMP");
+    }
+
+    #[test]
+    fn di_comp_is_lossless() {
+        let mut enc = DiEncoder::di_comp(config());
+        let mut dec = DiDecoder::new(config());
+        let mut rng = anoc_core::rng::Pcg32::seed_from_u64(7);
+        let blocks: Vec<CacheBlock> = (0..50)
+            .map(|_| {
+                // Skewed value distribution so the dictionary gets traction.
+                let words: Vec<i32> = (0..8).map(|_| (rng.below(6) * 1000) as i32).collect();
+                CacheBlock::from_i32(&words).with_approximable(false)
+            })
+            .collect();
+        let out = run_pair(&mut enc, &mut dec, &blocks);
+        for (i, (got, want)) in out.iter().zip(&blocks).enumerate() {
+            assert_eq!(got, want, "block {i} corrupted");
+        }
+        assert_eq!(dec.races(), 0);
+    }
+
+    #[test]
+    fn di_vaxx_approximates_close_values() {
+        let t = ErrorThreshold::from_percent(10).unwrap();
+        let mut enc = DiEncoder::di_vaxx(config(), Avcl::new(t));
+        let mut dec = DiDecoder::new(config());
+        assert!(enc.is_vaxx());
+        // Teach the dictionary the pattern 10_000.
+        let teach = CacheBlock::from_i32(&[10_000; 4]);
+        run_pair(&mut enc, &mut dec, &[teach.clone(), teach]);
+        // Now a close value compresses approximately.
+        let close = CacheBlock::from_i32(&[10_100, 10_000, 9_900, 10_050]);
+        let e = enc.encode(&close, NodeId(1));
+        let s = e.stats();
+        assert!(
+            s.approx_encoded >= 2,
+            "close values should hit the TCAM: {s:?}"
+        );
+        let d = dec.decode(&e, NodeId(0)).block;
+        for (p, a) in close.words().iter().zip(d.words()) {
+            let err = Avcl::relative_error(*p, *a, DataType::Int).unwrap();
+            assert!(err <= 0.10, "{p} -> {a}");
+        }
+    }
+
+    #[test]
+    fn di_vaxx_exact_path_for_precise_blocks() {
+        let t = ErrorThreshold::from_percent(20).unwrap();
+        let mut enc = DiEncoder::di_vaxx(config(), Avcl::new(t));
+        let mut dec = DiDecoder::new(config());
+        let teach = CacheBlock::from_i32(&[5_000; 4]).with_approximable(false);
+        run_pair(&mut enc, &mut dec, &[teach.clone(), teach]);
+        // A precise block with a merely-close value must NOT compress...
+        let precise = CacheBlock::from_i32(&[5_001; 4]).with_approximable(false);
+        let e = enc.encode(&precise, NodeId(1));
+        assert_eq!(e.stats().raw, 4);
+        // ...but the exact original still does, via the original-pattern
+        // storage (Figure 8), and decodes bit-exactly.
+        let exact = CacheBlock::from_i32(&[5_000; 4]).with_approximable(false);
+        let e2 = enc.encode(&exact, NodeId(1));
+        assert_eq!(e2.stats().exact_encoded, 4);
+        let d = dec.decode(&e2, NodeId(0)).block;
+        assert_eq!(d, exact);
+    }
+
+    #[test]
+    fn per_destination_isolation() {
+        let mut enc = DiEncoder::di_comp(config());
+        // Install for destination 1 only.
+        enc.apply_notification(
+            NodeId(1),
+            Notification::Install {
+                pattern: 123,
+                index: 0,
+                dtype: DataType::Int,
+            },
+        );
+        let block = CacheBlock::from_i32(&[123]).with_approximable(false);
+        assert_eq!(enc.encode(&block, NodeId(1)).stats().exact_encoded, 1);
+        assert_eq!(enc.encode(&block, NodeId(2)).stats().raw, 1);
+    }
+
+    #[test]
+    fn notification_roundtrip_keeps_tables_consistent() {
+        let cfg = DiConfig {
+            pmt_entries: 2,
+            ..config()
+        };
+        let mut enc = DiEncoder::di_comp(cfg);
+        let mut dec = DiDecoder::new(cfg);
+        // Cycle through 3 patterns in a 2-entry PMT to force evictions.
+        let mut blocks = Vec::new();
+        for round in 0..6 {
+            let v = 1000 * (round % 3 + 1);
+            blocks.push(CacheBlock::from_i32(&[v; 4]).with_approximable(false));
+        }
+        let out = run_pair(&mut enc, &mut dec, &blocks);
+        for (got, want) in out.iter().zip(&blocks) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn decoder_learns_from_raw_words_only() {
+        let mut enc = DiEncoder::di_comp(config());
+        let mut dec = DiDecoder::new(config());
+        let block = CacheBlock::from_i32(&[0xAA; 4]);
+        run_pair(&mut enc, &mut dec, &[block.clone(), block.clone()]);
+        let before = dec.activity().notifications;
+        // Fully compressed traffic produces no new notifications.
+        let e = enc.encode(&block, NodeId(1));
+        assert_eq!(e.stats().exact_encoded, 4);
+        dec.decode(&e, NodeId(0));
+        assert_eq!(dec.activity().notifications, before);
+    }
+
+    #[test]
+    fn index_bit_width() {
+        assert_eq!(index_bits(8), 3);
+        assert_eq!(index_bits(16), 4);
+        assert_eq!(index_bits(2), 1);
+    }
+
+    #[test]
+    fn default_latencies_match_paper() {
+        let enc = DiEncoder::di_comp(config());
+        let dec = DiDecoder::new(config());
+        assert_eq!(enc.compression_latency(), 3);
+        assert_eq!(dec.decompression_latency(), 2);
+    }
+}

@@ -1,0 +1,544 @@
+//! Block codec traits and the encoded network representation (NR).
+//!
+//! The encoder in the source NI compresses each word of a cache block into a
+//! [`WordCode`]; the resulting [`EncodedBlock`] is the intermediate network
+//! representation that gets packetized, fragmented into flits and injected
+//! (Figure 3). At the destination the decoder reverses the mapping —
+//! approximately, if VAXX substituted reference patterns.
+//!
+//! Dictionary-based mechanisms additionally exchange [`Notification`]s:
+//! decoders detect recurring patterns and notify the paired encoder of new
+//! encoded indices, or of invalidations on replacement (Figure 7).
+
+use crate::data::{CacheBlock, DataType, NodeId};
+
+/// One word of the network representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordCode {
+    /// Word transmitted verbatim, plus `prefix_bits` of "uncompressed" tag.
+    Raw {
+        /// The verbatim 32-bit word.
+        word: u32,
+        /// Tag overhead in bits (3 for FPC's `111` prefix, 1 for dictionary
+        /// schemes' miss flag).
+        prefix_bits: u8,
+    },
+    /// Frequent-pattern hit: a 3-bit pattern index plus a variable-length
+    /// adjunct carrying the significant bits (Figure 5).
+    Pattern {
+        /// Index into the static frequent-pattern table (0..=7).
+        index: u8,
+        /// The adjunct data bits accompanying the index.
+        adjunct: u32,
+        /// Width of the adjunct in bits (0, 4, 8 or 16).
+        adjunct_bits: u8,
+        /// Whether VAXX approximation enabled this hit.
+        approx: bool,
+    },
+    /// A run of consecutive all-zero words, merged into one code with a
+    /// 3-bit run length (FPC's `000` row in Figure 5).
+    ZeroRun {
+        /// Number of zero words covered (1..=8).
+        len: u8,
+    },
+    /// Base-delta encoding: the word travels as a narrow signed delta from
+    /// the block's base word (Zhan et al., ASP-DAC'14 — the BDI extension).
+    Delta {
+        /// The signed delta from the base (simulation metadata; the wire
+        /// carries `delta_bits` of it).
+        delta: i32,
+        /// Width of the delta field in bits (0 for a repeated word).
+        delta_bits: u8,
+        /// Whether VAXX approximation enabled this delta to fit.
+        approx: bool,
+    },
+    /// Dictionary hit: an encoded index the paired decoder can resolve.
+    Dict {
+        /// The encoded index previously announced by the decoder.
+        index: u8,
+        /// Width of the index field in bits (log2 of the PMT size).
+        index_bits: u8,
+        /// Whether the hit went through the approximate (TCAM) path.
+        approx: bool,
+        /// Simulation metadata (not counted on the wire): the value this
+        /// index resolves to at the paired decoder when the packet was
+        /// encoded. The dictionary consistency protocol (update/invalidate
+        /// notifications, §4.2) keeps encoder and decoder in sync; this field
+        /// lets the simulator decode in-flight packets that raced with a
+        /// replacement exactly as the protocol's epoch handling would.
+        pattern: u32,
+    },
+}
+
+impl WordCode {
+    /// Size of this code on the wire, in bits (tag + payload).
+    pub fn bits(&self) -> u32 {
+        match *self {
+            WordCode::Raw { prefix_bits, .. } => prefix_bits as u32 + 32,
+            WordCode::Pattern {
+                adjunct_bits: data, ..
+            } => 3 + data as u32,
+            WordCode::ZeroRun { .. } => 3 + 3,
+            WordCode::Delta { delta_bits, .. } => delta_bits as u32,
+            WordCode::Dict { index_bits, .. } => 1 + index_bits as u32,
+        }
+    }
+
+    /// Number of source words this code covers (1, except for zero runs).
+    pub fn word_span(&self) -> u32 {
+        match *self {
+            WordCode::ZeroRun { len } => len as u32,
+            _ => 1,
+        }
+    }
+
+    /// Whether the word was encoded (pattern or dictionary hit) rather than
+    /// sent raw.
+    pub fn is_encoded(&self) -> bool {
+        !matches!(self, WordCode::Raw { .. })
+    }
+
+    /// Whether the encoding involved value approximation.
+    pub fn is_approx(&self) -> bool {
+        match *self {
+            WordCode::Raw { .. } | WordCode::ZeroRun { .. } => false,
+            WordCode::Pattern { approx, .. }
+            | WordCode::Dict { approx, .. }
+            | WordCode::Delta { approx, .. } => approx,
+        }
+    }
+}
+
+/// The encoded network representation of one cache block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedBlock {
+    codes: Vec<WordCode>,
+    dtype: DataType,
+    approximable: bool,
+}
+
+impl EncodedBlock {
+    /// Creates an encoded block from per-word codes.
+    pub fn new(codes: Vec<WordCode>, dtype: DataType, approximable: bool) -> Self {
+        EncodedBlock {
+            codes,
+            dtype,
+            approximable,
+        }
+    }
+
+    /// The per-word codes.
+    pub fn codes(&self) -> &[WordCode] {
+        &self.codes
+    }
+
+    /// Data type of the encoded block.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Whether the original block was annotated approximable.
+    pub fn is_approximable(&self) -> bool {
+        self.approximable
+    }
+
+    /// Number of codes in the block (zero runs count once).
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of source words covered by the block.
+    pub fn word_count(&self) -> u32 {
+        self.codes.iter().map(WordCode::word_span).sum()
+    }
+
+    /// Whether the block holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Total payload size on the wire in bits.
+    pub fn payload_bits(&self) -> u32 {
+        self.codes.iter().map(WordCode::bits).sum()
+    }
+
+    /// Aggregates the per-word encoding statistics of this block.
+    pub fn stats(&self) -> EncodeStats {
+        let mut s = EncodeStats::default();
+        s.absorb_block(self);
+        s
+    }
+}
+
+/// Running statistics over encoded words (drives Figures 10a/10b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncodeStats {
+    /// Total words seen.
+    pub words: u64,
+    /// Words encoded via an exact match.
+    pub exact_encoded: u64,
+    /// Words encoded thanks to value approximation.
+    pub approx_encoded: u64,
+    /// Words sent raw (uncompressed).
+    pub raw: u64,
+    /// Total input bits (words × 32).
+    pub bits_in: u64,
+    /// Total output bits on the wire.
+    pub bits_out: u64,
+}
+
+impl EncodeStats {
+    /// Folds one encoded block into the statistics. A zero run counts as
+    /// `len` exactly-encoded words.
+    pub fn absorb_block(&mut self, block: &EncodedBlock) {
+        for code in block.codes() {
+            let span = code.word_span() as u64;
+            self.words += span;
+            self.bits_in += 32 * span;
+            self.bits_out += code.bits() as u64;
+            match (code.is_encoded(), code.is_approx()) {
+                (true, true) => self.approx_encoded += span,
+                (true, false) => self.exact_encoded += span,
+                (false, _) => self.raw += span,
+            }
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &EncodeStats) {
+        self.words += other.words;
+        self.exact_encoded += other.exact_encoded;
+        self.approx_encoded += other.approx_encoded;
+        self.raw += other.raw;
+        self.bits_in += other.bits_in;
+        self.bits_out += other.bits_out;
+    }
+
+    /// Fraction of words that were encoded (exact + approximate).
+    pub fn encoded_fraction(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            (self.exact_encoded + self.approx_encoded) as f64 / self.words as f64
+        }
+    }
+
+    /// Fraction of words encoded exactly.
+    pub fn exact_fraction(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.exact_encoded as f64 / self.words as f64
+        }
+    }
+
+    /// Fraction of words encoded thanks to approximation.
+    pub fn approx_fraction(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.approx_encoded as f64 / self.words as f64
+        }
+    }
+
+    /// Compression ratio `bits_in / bits_out` (≥ 1 is a win).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bits_out == 0 {
+            1.0
+        } else {
+            self.bits_in as f64 / self.bits_out as f64
+        }
+    }
+}
+
+/// Hardware activity counters a codec accumulates, consumed by the dynamic
+/// power model (Figure 15). All counts are event totals since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecActivity {
+    /// CAM search operations (pattern-matching-table lookups).
+    pub cam_searches: u64,
+    /// TCAM search operations (ternary approximate lookups).
+    pub tcam_searches: u64,
+    /// CAM/TCAM write (update/install/invalidate) operations.
+    pub table_updates: u64,
+    /// Approximate-value/pattern compute logic activations (AVCL/APCL).
+    pub avcl_ops: u64,
+    /// Words pushed through encode.
+    pub words_encoded: u64,
+    /// Words pushed through decode.
+    pub words_decoded: u64,
+    /// Dictionary notifications produced or consumed.
+    pub notifications: u64,
+}
+
+impl CodecActivity {
+    /// Merges another activity record into this one.
+    pub fn merge(&mut self, other: &CodecActivity) {
+        self.cam_searches += other.cam_searches;
+        self.tcam_searches += other.tcam_searches;
+        self.table_updates += other.table_updates;
+        self.avcl_ops += other.avcl_ops;
+        self.words_encoded += other.words_encoded;
+        self.words_decoded += other.words_decoded;
+        self.notifications += other.notifications;
+    }
+}
+
+/// A dictionary maintenance message from a decoder to a remote encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Notification {
+    /// The decoder placed `pattern` at `index` in its PMT; the encoder may now
+    /// compress occurrences of it for this decoder.
+    Install {
+        /// The newly tracked data pattern.
+        pattern: u32,
+        /// The encoded index assigned by the decoder.
+        index: u8,
+        /// Data type the pattern was observed under, so a DI-VAXX encoder's
+        /// APCL can derive the right don't-care mask.
+        dtype: DataType,
+    },
+    /// The decoder evicted `pattern`; the encoder must stop compressing it.
+    Invalidate {
+        /// The evicted data pattern.
+        pattern: u32,
+    },
+}
+
+/// Result of decoding a block: the (possibly approximated) cache block plus
+/// any dictionary notifications, each addressed to the encoder at a specific
+/// node (installs go to the packet's source; invalidations fan out to every
+/// encoder whose valid bit is set, per Figure 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeResult {
+    /// The reconstructed cache block.
+    pub block: CacheBlock,
+    /// Dictionary update notifications, paired with the node to notify.
+    pub notifications: Vec<(NodeId, Notification)>,
+}
+
+/// A block compression encoder living in a source NI.
+///
+/// Implementations: the baseline (no-op), FP-COMP, FP-VAXX, DI-COMP and
+/// DI-VAXX in the `anoc-compression` crate.
+pub trait BlockEncoder {
+    /// Short mechanism name, e.g. `"FP-VAXX"`.
+    fn name(&self) -> &'static str;
+
+    /// Encodes `block` for transmission to `dest`.
+    fn encode(&mut self, block: &CacheBlock, dest: NodeId) -> EncodedBlock;
+
+    /// Compression latency in cycles added on the injection path. The paper
+    /// provisions three cycles (two matching + one encoding) for all
+    /// mechanisms (§4.3).
+    fn compression_latency(&self) -> u64 {
+        3
+    }
+
+    /// Delivers a dictionary notification that arrived from `from`'s decoder.
+    /// Static mechanisms ignore these.
+    fn apply_notification(&mut self, from: NodeId, note: Notification) {
+        let _ = (from, note);
+    }
+
+    /// Hardware activity counters accumulated so far (for the power model).
+    fn activity(&self) -> CodecActivity {
+        CodecActivity::default()
+    }
+}
+
+/// A block decompression decoder living in a destination NI.
+pub trait BlockDecoder {
+    /// Short mechanism name, e.g. `"FP-VAXX"`.
+    fn name(&self) -> &'static str;
+
+    /// Decodes a network representation received from `src`.
+    fn decode(&mut self, encoded: &EncodedBlock, src: NodeId) -> DecodeResult;
+
+    /// Decompression latency in cycles added at the ejection path (two cycles
+    /// in the paper, §4.3).
+    fn decompression_latency(&self) -> u64 {
+        2
+    }
+
+    /// Hardware activity counters accumulated so far (for the power model).
+    fn activity(&self) -> CodecActivity {
+        CodecActivity::default()
+    }
+}
+
+/// The baseline mechanism: no compression at all. Every word is sent raw with
+/// zero tag overhead, and codec latencies are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullCodec;
+
+impl NullCodec {
+    /// Creates a baseline codec.
+    pub fn new() -> Self {
+        NullCodec
+    }
+}
+
+impl BlockEncoder for NullCodec {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn encode(&mut self, block: &CacheBlock, _dest: NodeId) -> EncodedBlock {
+        let codes = block
+            .words()
+            .iter()
+            .map(|w| WordCode::Raw {
+                word: *w,
+                prefix_bits: 0,
+            })
+            .collect();
+        EncodedBlock::new(codes, block.dtype(), block.is_approximable())
+    }
+
+    fn compression_latency(&self) -> u64 {
+        0
+    }
+}
+
+impl BlockDecoder for NullCodec {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn decode(&mut self, encoded: &EncodedBlock, _src: NodeId) -> DecodeResult {
+        let words = encoded
+            .codes()
+            .iter()
+            .map(|c| match *c {
+                WordCode::Raw { word, .. } => word,
+                _ => unreachable!("baseline never produces encoded words"),
+            })
+            .collect();
+        DecodeResult {
+            block: CacheBlock::new(words, encoded.dtype(), encoded.is_approximable()),
+            notifications: Vec::new(),
+        }
+    }
+
+    fn decompression_latency(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_code_bit_sizes() {
+        assert_eq!(
+            WordCode::Raw {
+                word: 0,
+                prefix_bits: 3
+            }
+            .bits(),
+            35
+        );
+        assert_eq!(
+            WordCode::Pattern {
+                index: 1,
+                adjunct: 0xF,
+                adjunct_bits: 4,
+                approx: false
+            }
+            .bits(),
+            7
+        );
+        assert_eq!(
+            WordCode::Dict {
+                index: 2,
+                index_bits: 3,
+                approx: true,
+                pattern: 0
+            }
+            .bits(),
+            4
+        );
+        assert_eq!(WordCode::ZeroRun { len: 8 }.bits(), 6);
+        assert_eq!(WordCode::ZeroRun { len: 8 }.word_span(), 8);
+    }
+
+    #[test]
+    fn encode_stats_classification() {
+        let codes = vec![
+            WordCode::Raw {
+                word: 5,
+                prefix_bits: 1,
+            },
+            WordCode::Dict {
+                index: 0,
+                index_bits: 3,
+                approx: false,
+                pattern: 7,
+            },
+            WordCode::Dict {
+                index: 1,
+                index_bits: 3,
+                approx: true,
+                pattern: 9,
+            },
+        ];
+        let block = EncodedBlock::new(codes, DataType::Int, true);
+        let s = block.stats();
+        assert_eq!(s.words, 3);
+        assert_eq!(s.raw, 1);
+        assert_eq!(s.exact_encoded, 1);
+        assert_eq!(s.approx_encoded, 1);
+        assert_eq!(s.bits_in, 96);
+        assert_eq!(s.bits_out, 33 + 4 + 4);
+        assert!((s.encoded_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.compression_ratio() > 2.0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = EncodeStats {
+            words: 1,
+            exact_encoded: 1,
+            bits_in: 32,
+            bits_out: 4,
+            ..Default::default()
+        };
+        let b = EncodeStats {
+            words: 2,
+            raw: 2,
+            bits_in: 64,
+            bits_out: 66,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.words, 3);
+        assert_eq!(a.bits_out, 70);
+        assert!((a.exact_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.approx_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = EncodeStats::default();
+        assert_eq!(s.encoded_fraction(), 0.0);
+        assert_eq!(s.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn null_codec_roundtrip() {
+        let mut enc = NullCodec::new();
+        let mut dec = NullCodec::new();
+        let block = CacheBlock::from_i32(&[1, -2, 3, -4]);
+        let e = enc.encode(&block, NodeId(1));
+        assert_eq!(e.payload_bits(), 128);
+        assert_eq!(enc.compression_latency(), 0);
+        assert_eq!(dec.decompression_latency(), 0);
+        let d = dec.decode(&e, NodeId(0));
+        assert_eq!(d.block, block);
+        assert!(d.notifications.is_empty());
+        assert_eq!(BlockEncoder::name(&enc), "Baseline");
+        assert_eq!(BlockDecoder::name(&dec), "Baseline");
+    }
+}

@@ -1,0 +1,176 @@
+//! Runtime error-threshold control.
+//!
+//! §1: the error threshold "can be determined by the compiler or annotated by
+//! the programmer and **can be dynamically adjusted at run time**". §2.2 adds
+//! that approximable applications still need QoS guarantees and cites Rumba's
+//! online quality management. [`QualityController`] is that loop: it watches
+//! the realized output/data quality and adjusts the threshold percentage —
+//! additive-increase when quality has slack, multiplicative-decrease when the
+//! QoS floor is violated — so the network harvests as much approximation as
+//! the application's quality budget allows.
+
+use crate::threshold::ErrorThreshold;
+
+/// An AIMD controller for the runtime error threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityController {
+    target_quality: f64,
+    percent: u32,
+    min_percent: u32,
+    max_percent: u32,
+    /// Additive step (percentage points) when quality has slack.
+    step_up: u32,
+}
+
+impl QualityController {
+    /// Creates a controller holding realized quality above `target_quality`
+    /// (e.g. `0.97`), starting from `initial_percent` and confined to
+    /// `[min_percent, max_percent]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < target_quality <= 1.0` and
+    /// `min_percent <= initial_percent <= max_percent <= 100`.
+    pub fn new(
+        target_quality: f64,
+        initial_percent: u32,
+        min_percent: u32,
+        max_percent: u32,
+    ) -> Self {
+        assert!(
+            target_quality > 0.0 && target_quality <= 1.0,
+            "quality target must be in (0, 1]"
+        );
+        assert!(
+            min_percent <= initial_percent && initial_percent <= max_percent && max_percent <= 100,
+            "threshold bounds must satisfy min <= initial <= max <= 100"
+        );
+        QualityController {
+            target_quality,
+            percent: initial_percent,
+            min_percent,
+            max_percent,
+            step_up: 2,
+        }
+    }
+
+    /// The paper's defaults: hold data quality above 97% (its Figure 9
+    /// observation), thresholds between 1% and 20%, starting at 10%.
+    pub fn paper_defaults() -> Self {
+        QualityController::new(0.97, 10, 1, 20)
+    }
+
+    /// The current threshold percentage.
+    pub fn percent(&self) -> u32 {
+        self.percent
+    }
+
+    /// The current threshold object (`exact` when driven to 0 — cannot
+    /// happen with `min_percent >= 1`).
+    pub fn threshold(&self) -> ErrorThreshold {
+        ErrorThreshold::from_percent(self.percent.max(1)).expect("bounded by construction")
+    }
+
+    /// The quality floor being enforced.
+    pub fn target_quality(&self) -> f64 {
+        self.target_quality
+    }
+
+    /// Feeds one epoch's realized quality (`1 - mean relative error`, or an
+    /// application-level accuracy) and returns the threshold for the next
+    /// epoch. AIMD: halve on violation, step up gently when there is slack.
+    pub fn observe(&mut self, realized_quality: f64) -> ErrorThreshold {
+        if realized_quality < self.target_quality {
+            self.percent = (self.percent / 2).max(self.min_percent);
+        } else {
+            // Only grow when there is real headroom, to avoid oscillating on
+            // the floor.
+            let slack = realized_quality - self.target_quality;
+            if slack > (1.0 - self.target_quality) * 0.25 {
+                self.percent = (self.percent + self.step_up).min(self.max_percent);
+            }
+        }
+        self.threshold()
+    }
+}
+
+impl Default for QualityController {
+    fn default() -> Self {
+        QualityController::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_halves_the_threshold() {
+        let mut c = QualityController::paper_defaults();
+        assert_eq!(c.percent(), 10);
+        c.observe(0.90); // below the 0.97 floor
+        assert_eq!(c.percent(), 5);
+        c.observe(0.90);
+        assert_eq!(c.percent(), 2);
+        c.observe(0.50);
+        c.observe(0.50);
+        assert_eq!(c.percent(), 1, "clamped at the minimum");
+    }
+
+    #[test]
+    fn slack_grows_the_threshold_gently() {
+        let mut c = QualityController::paper_defaults();
+        for _ in 0..20 {
+            c.observe(0.999); // lots of headroom
+        }
+        assert_eq!(c.percent(), 20, "clamped at the maximum");
+    }
+
+    #[test]
+    fn near_target_quality_holds_steady() {
+        let mut c = QualityController::paper_defaults();
+        for _ in 0..10 {
+            c.observe(0.975); // above floor, within the no-grow band
+        }
+        assert_eq!(c.percent(), 10);
+    }
+
+    #[test]
+    fn converges_under_a_simple_plant() {
+        // A toy plant where realized quality = 1 - percent/200 (i.e. 20%
+        // threshold -> 0.90 quality): the controller must settle where
+        // quality ~ target.
+        let mut c = QualityController::new(0.96, 20, 1, 40);
+        let mut pct = c.percent();
+        for _ in 0..50 {
+            let quality = 1.0 - pct as f64 / 200.0;
+            pct = c.observe(quality).percent();
+        }
+        let final_quality = 1.0 - pct as f64 / 200.0;
+        assert!(
+            final_quality >= 0.955,
+            "settled at {pct}% -> quality {final_quality}"
+        );
+        assert!(pct >= 4, "should not collapse to the minimum: {pct}");
+    }
+
+    #[test]
+    fn threshold_object_matches_percent() {
+        let c = QualityController::paper_defaults();
+        assert_eq!(c.threshold().percent(), 10);
+        assert_eq!(c.target_quality(), 0.97);
+        assert_eq!(QualityController::default(), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality target")]
+    fn bad_target_rejected() {
+        let _ = QualityController::new(0.0, 10, 1, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold bounds")]
+    fn bad_bounds_rejected() {
+        let _ = QualityController::new(0.97, 30, 1, 20);
+    }
+}

@@ -1,0 +1,238 @@
+//! Error thresholds and the shift-based error-range arithmetic of VAXX.
+//!
+//! The paper (§3.2) avoids multipliers on the packetization critical path by
+//! precomputing `100 / e` for an error threshold of `e%` and realising the
+//! error range of a value as a right shift:
+//!
+//! ```text
+//! error_range = value * (e / 100)  =>  value / (100 / e)  =>  value >> shift
+//! ```
+//!
+//! We round the shift **up** (`shift = ceil(log2(100 / e))`) so the hardware
+//! range is never larger than the mathematically exact range — the threshold
+//! becomes a hard guarantee instead of a soft target. The exact multiply-based
+//! range is kept alongside as a software oracle for tests and ablations.
+
+use std::fmt;
+
+/// Error raised when constructing an invalid [`ErrorThreshold`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThresholdError {
+    /// The percentage was zero; use [`ErrorThreshold::exact`] for a 0% setting.
+    ZeroPercent,
+    /// The percentage exceeded 100.
+    TooLarge(u32),
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::ZeroPercent => {
+                write!(
+                    f,
+                    "error threshold of 0% requested; use ErrorThreshold::exact"
+                )
+            }
+            ThresholdError::TooLarge(p) => {
+                write!(f, "error threshold {p}% exceeds 100%")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
+/// An application-supplied error threshold, determined by the compiler or
+/// annotated by the programmer (§1), convertible at configuration time into
+/// the shift amount used by the hardware.
+///
+/// `ErrorThreshold::exact()` (0%) degenerates to exact matching: the error
+/// range of every value is zero and no bits become don't-cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ErrorThreshold {
+    /// Percentage in `[0, 100]`. 0 means exact.
+    percent: u32,
+    /// Precomputed `ceil(log2(100 / percent))`; `u32::BITS` when exact so any
+    /// 32-bit value shifts to a zero range.
+    shift: u32,
+}
+
+impl ErrorThreshold {
+    /// Creates a threshold of `percent`% (must be in `1..=100`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThresholdError::ZeroPercent`] for 0 and
+    /// [`ThresholdError::TooLarge`] for values above 100.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use anoc_core::threshold::ErrorThreshold;
+    /// let t = ErrorThreshold::from_percent(25)?;
+    /// // 100 / 25 = 4 => shift by 2: the paper's example (value 128 -> range 32).
+    /// assert_eq!(t.error_range(128), 32);
+    /// # Ok::<(), anoc_core::threshold::ThresholdError>(())
+    /// ```
+    pub fn from_percent(percent: u32) -> Result<Self, ThresholdError> {
+        if percent == 0 {
+            return Err(ThresholdError::ZeroPercent);
+        }
+        if percent > 100 {
+            return Err(ThresholdError::TooLarge(percent));
+        }
+        let divisor = 100.0 / percent as f64;
+        // ceil(log2(divisor)), computed without floating-point log to stay
+        // exact at the power-of-two boundaries (e.g. 25% -> 4 -> shift 2).
+        let mut shift = 0u32;
+        while (1u64 << shift) < divisor.ceil() as u64 {
+            shift += 1;
+        }
+        Ok(ErrorThreshold { percent, shift })
+    }
+
+    /// The 0% threshold: exact matching only.
+    pub fn exact() -> Self {
+        ErrorThreshold {
+            percent: 0,
+            shift: u32::BITS,
+        }
+    }
+
+    /// The threshold percentage.
+    #[inline]
+    pub fn percent(&self) -> u32 {
+        self.percent
+    }
+
+    /// Whether this threshold demands exact matching.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.percent == 0
+    }
+
+    /// The precomputed shift amount (`ceil(log2(100/e))`).
+    #[inline]
+    pub fn shift_bits(&self) -> u32 {
+        self.shift
+    }
+
+    /// The hardware error range of `magnitude`: `magnitude >> shift`.
+    ///
+    /// Because the shift is rounded up this is never larger than the exact
+    /// range, so any approximation built from it respects the threshold.
+    #[inline]
+    pub fn error_range(&self, magnitude: u32) -> u32 {
+        if self.shift >= u32::BITS {
+            0
+        } else {
+            magnitude >> self.shift
+        }
+    }
+
+    /// The mathematically exact error range `floor(magnitude * e / 100)`.
+    /// Used as the software oracle for tests and the multiply-vs-shift
+    /// ablation; not what the proposed hardware computes.
+    #[inline]
+    pub fn error_range_exact(&self, magnitude: u32) -> u32 {
+        ((magnitude as u64 * self.percent as u64) / 100) as u32
+    }
+
+    /// Checks the threshold as a real-valued relative-error bound:
+    /// `|approx - precise| <= precise * e / 100` (integer arithmetic, no
+    /// rounding slack).
+    pub fn allows(&self, precise: u32, approx: u32) -> bool {
+        let diff = precise.abs_diff(approx) as u64;
+        diff * 100 <= precise as u64 * self.percent as u64
+    }
+}
+
+impl Default for ErrorThreshold {
+    /// The paper's default operating point: 10%.
+    fn default() -> Self {
+        ErrorThreshold::from_percent(10).expect("10 is a valid percentage")
+    }
+}
+
+impl fmt::Display for ErrorThreshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.percent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_25_percent() {
+        // §3.2: "for an error threshold of 25%, the number of shift bits is 4"
+        // (the paper calls 100/e = 4 the shift amount; the binary shift is 2)
+        // "when the data pattern value is 128, the error_range ... is 32".
+        let t = ErrorThreshold::from_percent(25).unwrap();
+        assert_eq!(t.shift_bits(), 2);
+        assert_eq!(t.error_range(128), 32);
+    }
+
+    #[test]
+    fn default_is_ten_percent() {
+        let t = ErrorThreshold::default();
+        assert_eq!(t.percent(), 10);
+        // 100/10 = 10, ceil(log2 10) = 4 => conservative range v/16 <= v/10.
+        assert_eq!(t.shift_bits(), 4);
+        assert_eq!(t.error_range(160), 10);
+        assert_eq!(t.error_range_exact(160), 16);
+    }
+
+    #[test]
+    fn hardware_range_never_exceeds_exact_range() {
+        for pct in [1, 2, 5, 10, 20, 25, 33, 50, 75, 100] {
+            let t = ErrorThreshold::from_percent(pct).unwrap();
+            for v in [0u32, 1, 7, 9, 100, 128, 1 << 20, u32::MAX] {
+                assert!(
+                    t.error_range(v) <= t.error_range_exact(v),
+                    "pct={pct} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_threshold_has_zero_range() {
+        let t = ErrorThreshold::exact();
+        assert!(t.is_exact());
+        assert_eq!(t.error_range(u32::MAX), 0);
+        assert!(t.allows(5, 5));
+        assert!(!t.allows(5, 6));
+    }
+
+    #[test]
+    fn invalid_percentages_rejected() {
+        assert_eq!(
+            ErrorThreshold::from_percent(0),
+            Err(ThresholdError::ZeroPercent)
+        );
+        assert_eq!(
+            ErrorThreshold::from_percent(101),
+            Err(ThresholdError::TooLarge(101))
+        );
+        assert!(ErrorThreshold::from_percent(100).is_ok());
+        let _ = ThresholdError::ZeroPercent.to_string();
+        let _ = ThresholdError::TooLarge(101).to_string();
+    }
+
+    #[test]
+    fn allows_is_tight() {
+        let t = ErrorThreshold::from_percent(20).unwrap();
+        assert!(t.allows(10, 12)); // 2 <= 10*0.2
+        assert!(!t.allows(10, 13)); // 3 > 2
+        assert!(t.allows(0, 0));
+        assert!(!t.allows(0, 1)); // zero tolerates nothing
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ErrorThreshold::default().to_string(), "10%");
+        assert_eq!(ErrorThreshold::exact().to_string(), "0%");
+    }
+}

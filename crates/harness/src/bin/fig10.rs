@@ -1,0 +1,13 @@
+//! Regenerates Figure 10: encoded-word fraction and compression ratio.
+use anoc_harness::experiments::{fig10, render_fig10, BenchmarkMatrix};
+use anoc_harness::SystemConfig;
+
+fn main() {
+    let cycles = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let config = SystemConfig::paper().with_sim_cycles(cycles);
+    let matrix = BenchmarkMatrix::run(&config, 42);
+    print!("{}", render_fig10(&fig10(&matrix)));
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 14: approximable-packet-ratio sensitivity (25/50/75%).
+use anoc_harness::experiments::{fig14, render_sensitivity};
+use anoc_harness::SystemConfig;
+
+fn main() {
+    let cycles = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let config = SystemConfig::paper().with_sim_cycles(cycles);
+    let rows = fig14(&config, 42);
+    print!(
+        "{}",
+        render_sensitivity(
+            "Figure 14: Approximable Packets Ratio Sensitivity (packet latency)",
+            &rows
+        )
+    );
+}

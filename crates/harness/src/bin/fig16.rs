@@ -1,0 +1,13 @@
+//! Regenerates Figure 16: application output accuracy and normalized
+//! performance across data error budgets.
+use anoc_harness::experiments::{fig16, render_fig16};
+use anoc_harness::SystemConfig;
+
+fn main() {
+    let cycles = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15_000);
+    let config = SystemConfig::paper().with_sim_cycles(cycles);
+    print!("{}", render_fig16(&fig16(&config, 42)));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 9: average packet latency breakdown + data quality.
+use anoc_harness::experiments::{fig9, render_fig9, BenchmarkMatrix};
+use anoc_harness::SystemConfig;
+
+fn main() {
+    let cycles = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let config = SystemConfig::paper().with_sim_cycles(cycles);
+    let matrix = BenchmarkMatrix::run(&config, 42);
+    print!("{}", render_fig9(&fig9(&matrix)));
+}

@@ -1,0 +1,10 @@
+//! Prints Table 1: the simulated system configuration.
+use anoc_harness::SystemConfig;
+
+fn main() {
+    let config = SystemConfig::paper();
+    println!("Table 1: APPROX-NoC Simulation Configuration");
+    for (k, v) in config.table1_rows() {
+        println!("{k:<34} {v}");
+    }
+}

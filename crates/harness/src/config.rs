@@ -1,0 +1,282 @@
+//! Experiment configuration: Table 1 plus the evaluation knobs of §5.1.
+
+use anoc_compression::di::{DiConfig, DiDecoder, DiEncoder};
+use anoc_compression::fp::{FpDecoder, FpEncoder};
+use anoc_core::avcl::Avcl;
+use anoc_core::threshold::ErrorThreshold;
+use anoc_noc::{NocConfig, NodeCodec};
+
+/// The five mechanisms compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// No compression.
+    Baseline,
+    /// Dynamic dictionary compression (Jin et al.).
+    DiComp,
+    /// Dictionary compression + VAXX approximation.
+    DiVaxx,
+    /// Static frequent-pattern compression (Das et al.).
+    FpComp,
+    /// Frequent-pattern compression + VAXX approximation.
+    FpVaxx,
+    /// A custom mechanism driven through [`crate::runner::run_custom`]
+    /// (extension studies: BD-COMP/BD-VAXX, adaptive, windowed FP-VAXX).
+    Custom(&'static str),
+}
+
+impl Mechanism {
+    /// All mechanisms in the paper's plotting order.
+    pub const ALL: [Mechanism; 5] = [
+        Mechanism::Baseline,
+        Mechanism::DiComp,
+        Mechanism::DiVaxx,
+        Mechanism::FpComp,
+        Mechanism::FpVaxx,
+    ];
+
+    /// Display name as used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mechanism::Baseline => "Baseline",
+            Mechanism::DiComp => "DI-COMP",
+            Mechanism::DiVaxx => "DI-VAXX",
+            Mechanism::FpComp => "FP-COMP",
+            Mechanism::FpVaxx => "FP-VAXX",
+            Mechanism::Custom(name) => name,
+        }
+    }
+
+    /// Whether this mechanism performs value approximation.
+    pub fn is_vaxx(&self) -> bool {
+        matches!(self, Mechanism::DiVaxx | Mechanism::FpVaxx)
+    }
+
+    /// Whether this mechanism uses the dynamic dictionary.
+    pub fn is_dictionary(&self) -> bool {
+        matches!(self, Mechanism::DiComp | Mechanism::DiVaxx)
+    }
+
+    /// Builds the per-node codec pairs for a network of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Mechanism::Custom`]: custom mechanisms supply their own
+    /// codecs through [`crate::runner::run_custom`].
+    pub fn codecs(&self, nodes: usize, threshold: ErrorThreshold) -> Vec<NodeCodec> {
+        (0..nodes)
+            .map(|_| match self {
+                Mechanism::Custom(name) => {
+                    panic!("custom mechanism {name} must use run_custom")
+                }
+                Mechanism::Baseline => NodeCodec::baseline(),
+                Mechanism::FpComp => {
+                    NodeCodec::new(Box::new(FpEncoder::fp_comp()), Box::new(FpDecoder::new()))
+                }
+                Mechanism::FpVaxx => NodeCodec::new(
+                    Box::new(FpEncoder::fp_vaxx(Avcl::new(threshold))),
+                    Box::new(FpDecoder::new()),
+                ),
+                Mechanism::DiComp => {
+                    let cfg = DiConfig::for_nodes(nodes);
+                    NodeCodec::new(
+                        Box::new(DiEncoder::di_comp(cfg)),
+                        Box::new(DiDecoder::new(cfg)),
+                    )
+                }
+                Mechanism::DiVaxx => {
+                    let cfg = DiConfig::for_nodes(nodes);
+                    NodeCodec::new(
+                        Box::new(DiEncoder::di_vaxx(cfg, Avcl::new(threshold))),
+                        Box::new(DiDecoder::new(cfg)),
+                    )
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full experiment configuration (Table 1 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// The NoC parameters.
+    pub noc: NocConfig,
+    /// Error threshold percentage (paper default: 10; 0 = exact).
+    pub threshold_percent: u32,
+    /// Fraction of data packets annotated approximable (paper default 0.75).
+    pub approx_ratio: f64,
+    /// Warmup cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Measured simulation cycles.
+    pub sim_cycles: u64,
+    /// Additional cycles allowed for draining in-flight packets.
+    pub drain_cycles: u64,
+}
+
+impl SystemConfig {
+    /// The paper's default operating point.
+    pub fn paper() -> Self {
+        SystemConfig {
+            noc: NocConfig::paper_4x4_cmesh(),
+            threshold_percent: 10,
+            approx_ratio: 0.75,
+            warmup_cycles: 5_000,
+            sim_cycles: 50_000,
+            drain_cycles: 50_000,
+        }
+    }
+
+    /// The §5.4 full-system configuration: a 64-core CMP on an 8×8 mesh.
+    pub fn full_system() -> Self {
+        SystemConfig {
+            noc: NocConfig::mesh_8x8(),
+            ..SystemConfig::paper()
+        }
+    }
+
+    /// Overrides the measured cycle count (warmup scales to 10%).
+    #[must_use]
+    pub fn with_sim_cycles(mut self, cycles: u64) -> Self {
+        self.sim_cycles = cycles;
+        self.warmup_cycles = (cycles / 10).max(500);
+        self.drain_cycles = cycles;
+        self
+    }
+
+    /// Overrides the error threshold percentage (0 = exact matching only).
+    #[must_use]
+    pub fn with_threshold(mut self, percent: u32) -> Self {
+        self.threshold_percent = percent;
+        self
+    }
+
+    /// Overrides the approximable-packet ratio.
+    #[must_use]
+    pub fn with_approx_ratio(mut self, ratio: f64) -> Self {
+        self.approx_ratio = ratio;
+        self
+    }
+
+    /// The error threshold object.
+    pub fn threshold(&self) -> ErrorThreshold {
+        if self.threshold_percent == 0 {
+            ErrorThreshold::exact()
+        } else {
+            ErrorThreshold::from_percent(self.threshold_percent).expect("validated percentage")
+        }
+    }
+
+    /// Renders Table 1 as printable rows.
+    pub fn table1_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "System parameters".into(),
+                "32 OoO cores @ 2 GHz, 32KB L1I$/64KB L1D$ 2-way, 2MB L2$, 16 dirs, MOESI".into(),
+            ),
+            (
+                "NoC topology".into(),
+                format!(
+                    "{}x{} 2D concentrated mesh ({} nodes)",
+                    self.noc.width,
+                    self.noc.height,
+                    self.noc.num_nodes()
+                ),
+            ),
+            (
+                "Router".into(),
+                format!(
+                    "2 GHz, three-stage, {} VCs x {}-flit buffers, {}-bit flits, wormhole, XY",
+                    self.noc.vcs, self.noc.vc_buffer, self.noc.flit_bits
+                ),
+            ),
+            (
+                "Error threshold".into(),
+                format!(
+                    "5%, 10% (default), 20% — current: {}%",
+                    self.threshold_percent
+                ),
+            ),
+            (
+                "Approximable data packet ratio".into(),
+                format!(
+                    "25%, 50%, 75% (default) — current: {:.0}%",
+                    self.approx_ratio * 100.0
+                ),
+            ),
+            ("Dictionary-based mechanisms".into(), "8-entry PMT".into()),
+        ]
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanisms_build_matching_codecs() {
+        let t = ErrorThreshold::default();
+        for m in Mechanism::ALL {
+            let codecs = m.codecs(4, t);
+            assert_eq!(codecs.len(), 4);
+            let expected = match m {
+                Mechanism::Baseline => "Baseline",
+                Mechanism::DiComp => "DI-COMP",
+                Mechanism::DiVaxx => "DI-VAXX",
+                Mechanism::FpComp => "FP-COMP",
+                Mechanism::FpVaxx => "FP-VAXX",
+                Mechanism::Custom(name) => name,
+            };
+            assert_eq!(codecs[0].encoder.name(), expected);
+            assert_eq!(m.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn vaxx_and_dictionary_classification() {
+        assert!(Mechanism::DiVaxx.is_vaxx() && Mechanism::FpVaxx.is_vaxx());
+        assert!(!Mechanism::DiComp.is_vaxx() && !Mechanism::Baseline.is_vaxx());
+        assert!(Mechanism::DiComp.is_dictionary() && Mechanism::DiVaxx.is_dictionary());
+        assert!(!Mechanism::FpComp.is_dictionary());
+    }
+
+    #[test]
+    fn full_system_preset_is_8x8() {
+        let c = SystemConfig::full_system();
+        assert_eq!(c.noc.num_nodes(), 64);
+        assert_eq!(c.noc.concentration, 1);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SystemConfig::paper()
+            .with_sim_cycles(10_000)
+            .with_threshold(20)
+            .with_approx_ratio(0.5);
+        assert_eq!(c.sim_cycles, 10_000);
+        assert_eq!(c.warmup_cycles, 1_000);
+        assert_eq!(c.threshold().percent(), 20);
+        assert_eq!(c.approx_ratio, 0.5);
+        let exact = SystemConfig::paper().with_threshold(0);
+        assert!(exact.threshold().is_exact());
+    }
+
+    #[test]
+    fn table1_mentions_the_key_parameters() {
+        let rows = SystemConfig::paper().table1_rows();
+        let all: String = rows.iter().map(|(k, v)| format!("{k}: {v}\n")).collect();
+        for needle in ["4x4", "three-stage", "8-entry PMT", "75%", "10%"] {
+            assert!(all.contains(needle), "Table 1 missing {needle}: {all}");
+        }
+    }
+}

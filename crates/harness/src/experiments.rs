@@ -1,0 +1,878 @@
+//! One runner per table/figure of the paper's evaluation (§5).
+//!
+//! Every function regenerates the corresponding result: the same rows or
+//! series the paper plots, printed via the `render_*` helpers or consumed
+//! programmatically. Absolute numbers differ from the paper (the substrate
+//! is a reimplemented simulator driven by modelled traffic); EXPERIMENTS.md
+//! records the shape comparison.
+
+use anoc_traffic::{Benchmark, DataPool, DestPattern, SyntheticTraffic};
+
+use crate::config::{Mechanism, SystemConfig};
+use crate::power::EnergyModel;
+pub use crate::runner::{run_benchmark, run_with_source, RunResult};
+
+/// The full benchmark × mechanism result matrix backing Figures 9, 10, 11
+/// and 15.
+#[derive(Debug, Clone)]
+pub struct BenchmarkMatrix {
+    /// Per-benchmark results, one per mechanism in [`Mechanism::ALL`] order.
+    pub cells: Vec<(Benchmark, Vec<RunResult>)>,
+}
+
+impl BenchmarkMatrix {
+    /// Runs all 8 benchmarks × 5 mechanisms.
+    pub fn run(config: &SystemConfig, seed: u64) -> Self {
+        let cells = Benchmark::ALL
+            .iter()
+            .map(|b| {
+                let runs = Mechanism::ALL
+                    .iter()
+                    .map(|m| run_benchmark(*b, *m, config, seed))
+                    .collect();
+                (*b, runs)
+            })
+            .collect();
+        BenchmarkMatrix { cells }
+    }
+
+    /// The result for one (benchmark, mechanism) cell.
+    pub fn get(&self, benchmark: Benchmark, mechanism: Mechanism) -> &RunResult {
+        let (_, runs) = self
+            .cells
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .expect("benchmark present");
+        let idx = Mechanism::ALL
+            .iter()
+            .position(|m| *m == mechanism)
+            .expect("mechanism present");
+        &runs[idx]
+    }
+}
+
+/// One bar of Figure 9: latency breakdown plus data quality.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// NI queueing latency (cycles).
+    pub queue_lat: f64,
+    /// Network latency (cycles).
+    pub net_lat: f64,
+    /// Decode latency (cycles).
+    pub decode_lat: f64,
+    /// Data value quality (right axis).
+    pub quality: f64,
+}
+
+impl Fig9Row {
+    /// Total average packet latency.
+    pub fn total(&self) -> f64 {
+        self.queue_lat + self.net_lat + self.decode_lat
+    }
+}
+
+/// Figure 9: average packet latency breakdown and approximation quality.
+pub fn fig9(matrix: &BenchmarkMatrix) -> Vec<Fig9Row> {
+    let mut rows = Vec::new();
+    for (b, runs) in &matrix.cells {
+        for r in runs {
+            rows.push(Fig9Row {
+                benchmark: *b,
+                mechanism: r.mechanism,
+                queue_lat: r.stats.avg_queue_latency(),
+                net_lat: r.stats.avg_net_latency(),
+                decode_lat: r.stats.avg_decode_latency(),
+                quality: r.data_quality(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 9 as a text table.
+pub fn render_fig9(rows: &[Fig9Row]) -> String {
+    let mut out = String::from(
+        "Figure 9: Average Packet Latency Breakdown and Overall Approximation Quality\n\
+         benchmark      mechanism  queue_lat  net_lat  decode_lat  total  quality\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<9} {:>9.2} {:>8.2} {:>10.3} {:>6.2} {:>8.4}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.queue_lat,
+            r.net_lat,
+            r.decode_lat,
+            r.total(),
+            r.quality,
+        ));
+    }
+    out
+}
+
+/// One bar group of Figure 10: encoded-word fraction split and compression
+/// ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Mechanism (compression mechanisms only; baseline is omitted as in
+    /// the paper).
+    pub mechanism: Mechanism,
+    /// Fraction of words encoded by exact matching (Figure 10a).
+    pub exact_fraction: f64,
+    /// Fraction of words encoded thanks to approximation (Figure 10a).
+    pub approx_fraction: f64,
+    /// Compression ratio (Figure 10b).
+    pub compression_ratio: f64,
+}
+
+/// Figure 10: encoded-word breakdown (a) and compression ratio (b).
+pub fn fig10(matrix: &BenchmarkMatrix) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for (b, runs) in &matrix.cells {
+        for r in runs {
+            if r.mechanism == Mechanism::Baseline {
+                continue;
+            }
+            rows.push(Fig10Row {
+                benchmark: *b,
+                mechanism: r.mechanism,
+                exact_fraction: r.stats.encode.exact_fraction(),
+                approx_fraction: r.stats.encode.approx_fraction(),
+                compression_ratio: r.stats.encode.compression_ratio(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 10 as a text table.
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    let mut out = String::from(
+        "Figure 10: Encoded Word Fraction (exact + approx) and Compression Ratio\n\
+         benchmark      mechanism  exact_frac  approx_frac  total_frac  comp_ratio\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<9} {:>10.3} {:>12.3} {:>11.3} {:>11.3}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.exact_fraction,
+            r.approx_fraction,
+            r.exact_fraction + r.approx_fraction,
+            r.compression_ratio,
+        ));
+    }
+    out
+}
+
+/// One bar of Figure 11: injected data flits normalized to baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Data flits injected, normalized to the uncompressed baseline.
+    pub normalized_flits: f64,
+}
+
+/// Figure 11: reduction in the number of injected data flits.
+pub fn fig11(matrix: &BenchmarkMatrix) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for (b, runs) in &matrix.cells {
+        for r in runs {
+            rows.push(Fig11Row {
+                benchmark: *b,
+                mechanism: r.mechanism,
+                normalized_flits: r.stats.normalized_data_flits(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 11 as a text table.
+pub fn render_fig11(rows: &[Fig11Row]) -> String {
+    let mut out = String::from(
+        "Figure 11: Data Flits Injected (normalized to Baseline)\nbenchmark      mechanism  normalized\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<9} {:>10.3}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.normalized_flits
+        ));
+    }
+    out
+}
+
+/// One latency-vs-injection-rate curve of Figure 12.
+#[derive(Debug, Clone)]
+pub struct Fig12Series {
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// `(offered flits/node/cycle, avg packet latency)` points; the sweep
+    /// stops once the network saturates (latency above the cap).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Fig12Series {
+    /// The saturation throughput: the highest offered rate whose latency
+    /// stayed under the cap.
+    pub fn saturation_rate(&self) -> f64 {
+        self.points.last().map(|(r, _)| *r).unwrap_or(0.0)
+    }
+}
+
+/// Figure 12: throughput under synthetic traffic with benchmark data.
+///
+/// `data_ratio` is 0.25 in the paper (25:75 data-to-control mix);
+/// `latency_cap` ends each mechanism's sweep once saturated.
+pub fn fig12(
+    benchmark: Benchmark,
+    pattern: DestPattern,
+    rates: &[f64],
+    config: &SystemConfig,
+    seed: u64,
+) -> Vec<Fig12Series> {
+    let latency_cap = 120.0;
+    let pool = DataPool::from_benchmark(benchmark, 512, seed);
+    Mechanism::ALL
+        .iter()
+        .map(|m| {
+            let mut points = Vec::new();
+            for &rate in rates {
+                let mut source = SyntheticTraffic::new(
+                    pattern,
+                    config.noc.num_nodes(),
+                    pool.clone(),
+                    rate,
+                    0.25,
+                    config.approx_ratio,
+                    seed,
+                );
+                let r = run_with_source(&mut source, *m, config);
+                let lat = r.avg_packet_latency();
+                points.push((rate, lat));
+                if lat > latency_cap {
+                    break;
+                }
+            }
+            Fig12Series {
+                mechanism: *m,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Renders one Figure 12 panel as a text table.
+pub fn render_fig12(label: &str, series: &[Fig12Series]) -> String {
+    let mut out = format!("Figure 12 ({label}): Packet Latency vs Injection Rate\n");
+    for s in series {
+        out.push_str(&format!("{:<9}", s.mechanism.name()));
+        for (rate, lat) in &s.points {
+            out.push_str(&format!("  {rate:.2}:{lat:.1}"));
+        }
+        out.push_str(&format!("  [saturation ~{:.2}]\n", s.saturation_rate()));
+    }
+    out
+}
+
+/// One group of Figure 13 (error-threshold sensitivity) or Figure 14
+/// (approximable-ratio sensitivity): the exact-compression latency plus the
+/// VAXX latency at each setting.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// `"DI-based"` or `"FP-based"`.
+    pub family: &'static str,
+    /// Latency of the exact compression mechanism (the "Compression" bar).
+    pub compression_latency: f64,
+    /// `(setting, latency)` for each swept value.
+    pub vaxx_latencies: Vec<(u32, f64)>,
+}
+
+/// Figure 13: error-threshold sensitivity (5%, 10%, 20%).
+pub fn fig13(config: &SystemConfig, seed: u64) -> Vec<SensitivityRow> {
+    sensitivity_sweep(
+        config,
+        seed,
+        &Benchmark::ALL,
+        &[5, 10, 20],
+        |cfg, setting| cfg.with_threshold(setting),
+    )
+}
+
+/// Figure 14: approximable-packet-ratio sensitivity (25%, 50%, 75%).
+pub fn fig14(config: &SystemConfig, seed: u64) -> Vec<SensitivityRow> {
+    sensitivity_sweep(
+        config,
+        seed,
+        &Benchmark::ALL,
+        &[25, 50, 75],
+        |cfg, setting| cfg.with_approx_ratio(setting as f64 / 100.0),
+    )
+}
+
+/// The generic Figure 13/14 machinery: for each benchmark and codec family,
+/// measure the exact-compression latency plus the VAXX latency at each
+/// setting produced by `apply`.
+pub fn sensitivity_sweep(
+    config: &SystemConfig,
+    seed: u64,
+    benchmarks: &[Benchmark],
+    settings: &[u32],
+    apply: impl Fn(SystemConfig, u32) -> SystemConfig,
+) -> Vec<SensitivityRow> {
+    let mut rows = Vec::new();
+    for &b in benchmarks {
+        for (family, comp, vaxx) in [
+            ("DI-based", Mechanism::DiComp, Mechanism::DiVaxx),
+            ("FP-based", Mechanism::FpComp, Mechanism::FpVaxx),
+        ] {
+            let comp_lat = run_benchmark(b, comp, config, seed).avg_packet_latency();
+            let vaxx_latencies = settings
+                .iter()
+                .map(|s| {
+                    let cfg = apply(config.clone(), *s);
+                    (*s, run_benchmark(b, vaxx, &cfg, seed).avg_packet_latency())
+                })
+                .collect();
+            rows.push(SensitivityRow {
+                benchmark: b,
+                family,
+                compression_latency: comp_lat,
+                vaxx_latencies,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 13/14 as a text table.
+pub fn render_sensitivity(title: &str, rows: &[SensitivityRow]) -> String {
+    let mut out = format!("{title}\nbenchmark      family    compression");
+    if let Some(first) = rows.first() {
+        for (s, _) in &first.vaxx_latencies {
+            out.push_str(&format!("  vaxx@{s:<3}"));
+        }
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<9} {:>10.2}",
+            r.benchmark.name(),
+            r.family,
+            r.compression_latency
+        ));
+        for (_, lat) in &r.vaxx_latencies {
+            out.push_str(&format!(" {lat:>8.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One bar of Figure 15: dynamic power normalized to baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig15Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Dynamic power normalized to the baseline run of the same benchmark.
+    pub normalized_power: f64,
+}
+
+/// Figure 15: dynamic power consumption normalized to baseline.
+pub fn fig15(matrix: &BenchmarkMatrix) -> Vec<Fig15Row> {
+    let model = EnergyModel::default();
+    let mut rows = Vec::new();
+    for (b, runs) in &matrix.cells {
+        let base = model.dynamic_power(&runs[0].activity).max(1e-12);
+        for r in runs {
+            rows.push(Fig15Row {
+                benchmark: *b,
+                mechanism: r.mechanism,
+                normalized_power: model.dynamic_power(&r.activity) / base,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 15 as a text table.
+pub fn render_fig15(rows: &[Fig15Row]) -> String {
+    let mut out = String::from(
+        "Figure 15: Dynamic Power (normalized to Baseline)\nbenchmark      mechanism  normalized\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<9} {:>10.3}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.normalized_power
+        ));
+    }
+    out
+}
+
+/// One point of Figure 16: application output error and normalized
+/// performance at an error budget.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Data error budget in percent (0, 10, 20).
+    pub budget_percent: u32,
+    /// Output error with the real FP-VAXX value path (typically far below
+    /// the budget because matches land in close proximity).
+    pub output_error: f64,
+    /// Output error when the data channel spends the *entire* budget on
+    /// every approximable word (the pessimistic bound; the paper's measured
+    /// errors lie between `output_error` and this).
+    pub worst_case_error: f64,
+    /// Runtime performance normalized to the 0% budget.
+    pub normalized_performance: f64,
+}
+
+/// Figure 16: application output accuracy and normalized performance for
+/// data error budgets of 0/10/20%.
+///
+/// Output error comes from running the real kernels through an FP-VAXX
+/// value path at each budget. Performance comes from the NoC: the measured
+/// latency improvement of FP-VAXX at each budget over the 0% (exact
+/// compression) case, scaled by the benchmark's sharing degree — the §5.4
+/// observation that "higher degree of sharing leads to ... improving the
+/// efficacy of our mechanism".
+pub fn fig16(config: &SystemConfig, seed: u64) -> Vec<Fig16Row> {
+    use anoc_apps::transport::{ApproxTransport, PreciseTransport};
+    use anoc_core::threshold::ErrorThreshold;
+    let budgets = [0u32, 10, 20];
+    let kernels = anoc_apps::default_kernels();
+    let mut rows = Vec::new();
+    for (kernel, benchmark) in kernels.iter().zip(Benchmark::ALL) {
+        let precise = kernel.run(&mut PreciseTransport);
+        let sharing = benchmark.profile().sharing;
+        // Latency at 0% budget (exact compression) anchors performance.
+        let lat0 = run_benchmark(benchmark, Mechanism::FpComp, config, seed).avg_packet_latency();
+        for budget in budgets {
+            let (error, worst, lat) = if budget == 0 {
+                (0.0, 0.0, lat0)
+            } else {
+                let threshold = ErrorThreshold::from_percent(budget).expect("valid budget");
+                let mut t = ApproxTransport::fp_vaxx(threshold);
+                let approx = kernel.run(&mut t);
+                let err = kernel.output_error(&precise, &approx);
+                let mut adv = anoc_apps::transport::AdversarialTransport::new(threshold);
+                let worst_out = kernel.run(&mut adv);
+                let worst = kernel.output_error(&precise, &worst_out);
+                let cfg = config.clone().with_threshold(budget);
+                let lat =
+                    run_benchmark(benchmark, Mechanism::FpVaxx, &cfg, seed).avg_packet_latency();
+                (err, worst, lat)
+            };
+            // Network latency improvement → runtime improvement, scaled by
+            // how communication-bound (sharing-heavy) the benchmark is.
+            let latency_gain = ((lat0 - lat) / lat0).max(0.0);
+            let normalized_performance = 1.0 + sharing * latency_gain;
+            rows.push(Fig16Row {
+                benchmark: kernel.name(),
+                budget_percent: budget,
+                output_error: error,
+                worst_case_error: worst,
+                normalized_performance,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 16 as a text table.
+pub fn render_fig16(rows: &[Fig16Row]) -> String {
+    let mut out = String::from(
+        "Figure 16: Application Output Accuracy and Normalized Performance\n\
+         benchmark      budget%  error(FP-VAXX)  error(worst-case)  accuracy%  norm_perf\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>15.4} {:>18.4} {:>10.2} {:>10.3}\n",
+            r.benchmark,
+            r.budget_percent,
+            r.output_error,
+            r.worst_case_error,
+            (1.0 - r.worst_case_error) * 100.0,
+            r.normalized_performance
+        ));
+    }
+    out
+}
+
+/// The Figure 17 artefacts: precise and approximate bodytrack outputs.
+#[derive(Debug, Clone)]
+pub struct Fig17Result {
+    /// Mean output-vector difference (the paper reports 2.4% at 10%).
+    pub vector_difference: f64,
+    /// PGM bytes of a precise frame (for writing to disk).
+    pub precise_pgm: Vec<u8>,
+    /// PGM bytes of the corresponding approximate frame.
+    pub approx_pgm: Vec<u8>,
+}
+
+/// Figure 17: precise vs approximate bodytrack output at a 10% threshold.
+pub fn fig17(seed: u64) -> Fig17Result {
+    use anoc_apps::bodytrack::{frame_to_pgm, Bodytrack};
+    use anoc_apps::transport::ApproxTransport;
+    use anoc_core::threshold::ErrorThreshold;
+    let kernel = Bodytrack::new(64, 3, 10, seed);
+    let (frames, _) = kernel.render();
+    let mut transport =
+        ApproxTransport::fp_vaxx(ErrorThreshold::from_percent(10).expect("10% is valid"));
+    let (precise, approx, err) = anoc_apps::kernel::evaluate(&kernel, &mut transport);
+    debug_assert_eq!(precise.len(), approx.len());
+    // Render the mid-sequence frame both ways for visual comparison.
+    let mid = frames.len() / 2;
+    let precise_frame = &frames[mid];
+    let mut t2 = ApproxTransport::fp_vaxx(ErrorThreshold::from_percent(10).expect("10% is valid"));
+    let approx_frame = anoc_apps::transport::BlockTransport::transmit_f32(&mut t2, precise_frame);
+    Fig17Result {
+        vector_difference: err,
+        precise_pgm: frame_to_pgm(precise_frame, kernel.size),
+        approx_pgm: frame_to_pgm(&approx_frame, kernel.size),
+    }
+}
+
+/// Extension study (beyond the paper's five mechanisms): the VAXX engine
+/// plugged into a third compression family — base-delta (BD-COMP/BD-VAXX,
+/// after the Zhan et al. mechanism cited in §6) — plus Jin et al.'s
+/// adaptive on/off controller wrapped around FP-COMP. Demonstrates the §1
+/// claim that VAXX is a "plug and play module for any underlying NoC data
+/// compression mechanism".
+pub fn extension_study(benchmark: Benchmark, config: &SystemConfig, seed: u64) -> Vec<RunResult> {
+    use crate::runner::run_custom;
+    use anoc_compression::adaptive::AdaptiveEncoder;
+    use anoc_compression::bd::{BdDecoder, BdEncoder};
+    use anoc_compression::fp::{FpDecoder, FpEncoder};
+    use anoc_core::avcl::Avcl;
+    use anoc_core::window::WindowBudget;
+    use anoc_noc::NodeCodec;
+    use anoc_traffic::BenchmarkTraffic;
+
+    let nodes = config.noc.num_nodes();
+    let t = config.threshold();
+    let entries: Vec<(Mechanism, Box<dyn Fn() -> NodeCodec>)> = vec![
+        (
+            Mechanism::FpComp,
+            Box::new(|| NodeCodec::new(Box::new(FpEncoder::fp_comp()), Box::new(FpDecoder::new()))),
+        ),
+        (
+            Mechanism::FpVaxx,
+            Box::new(move || {
+                NodeCodec::new(
+                    Box::new(FpEncoder::fp_vaxx(Avcl::new(t))),
+                    Box::new(FpDecoder::new()),
+                )
+            }),
+        ),
+        (
+            Mechanism::Custom("BD-COMP"),
+            Box::new(|| NodeCodec::new(Box::new(BdEncoder::bd_comp()), Box::new(BdDecoder::new()))),
+        ),
+        (
+            Mechanism::Custom("BD-VAXX"),
+            Box::new(move || {
+                NodeCodec::new(
+                    Box::new(BdEncoder::bd_vaxx(Avcl::new(t))),
+                    Box::new(BdDecoder::new()),
+                )
+            }),
+        ),
+        (
+            Mechanism::Custom("FP-adaptive"),
+            Box::new(|| {
+                NodeCodec::new(
+                    Box::new(AdaptiveEncoder::new(FpEncoder::fp_comp())),
+                    Box::new(FpDecoder::new()),
+                )
+            }),
+        ),
+        (
+            Mechanism::Custom("FP-VAXX-win"),
+            Box::new(move || {
+                NodeCodec::new(
+                    Box::new(FpEncoder::fp_vaxx_windowed(WindowBudget::new(
+                        16,
+                        t.percent().max(1),
+                    ))),
+                    Box::new(FpDecoder::new()),
+                )
+            }),
+        ),
+    ];
+    entries
+        .into_iter()
+        .map(|(mechanism, factory)| {
+            let mut source = BenchmarkTraffic::new(benchmark, nodes, config.approx_ratio, seed);
+            let codecs = (0..nodes).map(|_| factory()).collect();
+            run_custom(&mut source, mechanism, config, codecs)
+        })
+        .collect()
+}
+
+/// Renders the extension study as a text table.
+pub fn render_extension(benchmark: Benchmark, results: &[RunResult]) -> String {
+    let mut out = format!(
+        "Extension study ({benchmark}): VAXX plugged into three compression families\n\
+         mechanism     latency  norm_flits  comp_ratio  approx_frac  quality\n"
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:<13} {:>8.2} {:>11.3} {:>11.3} {:>12.3} {:>8.4}\n",
+            r.mechanism.name(),
+            r.avg_packet_latency(),
+            r.stats.normalized_data_flits(),
+            r.stats.encode.compression_ratio(),
+            r.stats.encode.approx_fraction(),
+            r.data_quality(),
+        ));
+    }
+    out
+}
+
+/// Serialises Figure 9 rows as CSV.
+pub fn fig9_csv(rows: &[Fig9Row]) -> String {
+    let mut out = String::from("benchmark,mechanism,queue_lat,net_lat,decode_lat,total,quality\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.4},{:.4},{:.6}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.queue_lat,
+            r.net_lat,
+            r.decode_lat,
+            r.total(),
+            r.quality
+        ));
+    }
+    out
+}
+
+/// Serialises Figure 10 rows as CSV.
+pub fn fig10_csv(rows: &[Fig10Row]) -> String {
+    let mut out =
+        String::from("benchmark,mechanism,exact_fraction,approx_fraction,compression_ratio\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.exact_fraction,
+            r.approx_fraction,
+            r.compression_ratio
+        ));
+    }
+    out
+}
+
+/// Serialises Figure 11 rows as CSV.
+pub fn fig11_csv(rows: &[Fig11Row]) -> String {
+    let mut out = String::from("benchmark,mechanism,normalized_data_flits\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.6}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.normalized_flits
+        ));
+    }
+    out
+}
+
+/// Serialises Figure 12 series as CSV (long format).
+pub fn fig12_csv(label: &str, series: &[Fig12Series]) -> String {
+    let mut out = String::from("panel,mechanism,injection_rate,latency\n");
+    for s in series {
+        for (rate, lat) in &s.points {
+            out.push_str(&format!(
+                "{label},{},{rate:.3},{lat:.4}\n",
+                s.mechanism.name()
+            ));
+        }
+    }
+    out
+}
+
+/// Serialises sensitivity (Figure 13/14) rows as CSV.
+pub fn sensitivity_csv(rows: &[SensitivityRow]) -> String {
+    let mut out = String::from("benchmark,family,setting,latency\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},compression,{:.4}\n",
+            r.benchmark.name(),
+            r.family,
+            r.compression_latency
+        ));
+        for (setting, lat) in &r.vaxx_latencies {
+            out.push_str(&format!(
+                "{},{},{setting},{lat:.4}\n",
+                r.benchmark.name(),
+                r.family
+            ));
+        }
+    }
+    out
+}
+
+/// Serialises Figure 15 rows as CSV.
+pub fn fig15_csv(rows: &[Fig15Row]) -> String {
+    let mut out = String::from("benchmark,mechanism,normalized_dynamic_power\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.6}\n",
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.normalized_power
+        ));
+    }
+    out
+}
+
+/// Serialises Figure 16 rows as CSV.
+pub fn fig16_csv(rows: &[Fig16Row]) -> String {
+    let mut out = String::from(
+        "benchmark,budget_percent,output_error,worst_case_error,normalized_performance\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6}\n",
+            r.benchmark,
+            r.budget_percent,
+            r.output_error,
+            r.worst_case_error,
+            r.normalized_performance
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SystemConfig {
+        SystemConfig::paper().with_sim_cycles(2_000)
+    }
+
+    #[test]
+    fn matrix_and_figures_9_10_11_15() {
+        let cfg = tiny();
+        let matrix = BenchmarkMatrix::run(&cfg, 1);
+        assert_eq!(matrix.cells.len(), 8);
+
+        let f9 = fig9(&matrix);
+        assert_eq!(f9.len(), 40);
+        assert!(f9.iter().all(|r| r.total() > 0.0));
+        assert!(render_fig9(&f9).contains("ssca2"));
+
+        let f10 = fig10(&matrix);
+        assert_eq!(f10.len(), 32, "baseline excluded");
+        assert!(f10.iter().all(|r| r.compression_ratio >= 0.9));
+        assert!(render_fig10(&f10).contains("FP-VAXX"));
+
+        let f11 = fig11(&matrix);
+        let base_rows: Vec<_> = f11
+            .iter()
+            .filter(|r| r.mechanism == Mechanism::Baseline)
+            .collect();
+        assert!(base_rows
+            .iter()
+            .all(|r| (r.normalized_flits - 1.0).abs() < 1e-9));
+        assert!(render_fig11(&f11).contains("normalized"));
+
+        let f15 = fig15(&matrix);
+        assert_eq!(f15.len(), 40);
+        let base_power: Vec<_> = f15
+            .iter()
+            .filter(|r| r.mechanism == Mechanism::Baseline)
+            .collect();
+        assert!(base_power
+            .iter()
+            .all(|r| (r.normalized_power - 1.0).abs() < 1e-9));
+        assert!(render_fig15(&f15).contains("Dynamic Power"));
+
+        // The headline relationship: VAXX compresses at least as well as the
+        // exact version on the data-intensive benchmark.
+        let di = matrix.get(Benchmark::Ssca2, Mechanism::DiComp);
+        let divaxx = matrix.get(Benchmark::Ssca2, Mechanism::DiVaxx);
+        assert!(divaxx.stats.encode.encoded_fraction() >= di.stats.encode.encoded_fraction());
+    }
+
+    #[test]
+    fn fig12_saturates_in_rate_order() {
+        let cfg = SystemConfig::paper().with_sim_cycles(1_500);
+        let series = fig12(
+            Benchmark::Blackscholes,
+            DestPattern::UniformRandom,
+            &[0.05, 0.45],
+            &cfg,
+            3,
+        );
+        assert_eq!(series.len(), 5);
+        for s in &series {
+            assert!(!s.points.is_empty());
+            // Latency grows (weakly) with offered load.
+            if s.points.len() == 2 {
+                assert!(s.points[1].1 >= s.points[0].1 * 0.8);
+            }
+        }
+        let txt = render_fig12("test UR", &series);
+        assert!(txt.contains("saturation"));
+    }
+
+    #[test]
+    fn sensitivity_sweep_single_benchmark() {
+        let cfg = SystemConfig::paper().with_sim_cycles(1_200);
+        let rows = sensitivity_sweep(&cfg, 9, &[Benchmark::Swaptions], &[5, 20], |c, s| {
+            c.with_threshold(s)
+        });
+        assert_eq!(rows.len(), 2, "one row per codec family");
+        for r in &rows {
+            assert_eq!(r.vaxx_latencies.len(), 2);
+            assert!(r.compression_latency > 0.0);
+            assert!(r.vaxx_latencies.iter().all(|(_, l)| *l > 0.0));
+        }
+        let txt = render_sensitivity("test", &rows);
+        assert!(txt.contains("DI-based") && txt.contains("FP-based"));
+        let csv = sensitivity_csv(&rows);
+        assert!(csv.lines().count() == 1 + 2 * 3, "{csv}");
+    }
+
+    #[test]
+    fn fig17_produces_images_and_small_difference() {
+        let r = fig17(5);
+        assert!(r.precise_pgm.starts_with(b"P5\n64 64\n255\n"));
+        assert_eq!(r.precise_pgm.len(), r.approx_pgm.len());
+        assert!(r.vector_difference < 0.15, "{}", r.vector_difference);
+        // Figure 17's point is visual indistinguishability: at most a small
+        // fraction of the 8-bit pixels may move, and only barely.
+        let diffs = r
+            .precise_pgm
+            .iter()
+            .zip(&r.approx_pgm)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diffs < r.precise_pgm.len() / 4, "{diffs} bytes differ");
+        for (a, b) in r.precise_pgm.iter().zip(&r.approx_pgm).skip(13) {
+            assert!(a.abs_diff(*b) <= 26, "pixel moved {a} -> {b}");
+        }
+    }
+}

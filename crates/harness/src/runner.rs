@@ -1,0 +1,272 @@
+//! The generic experiment driver: traffic source → NoC → statistics.
+
+use anoc_noc::{ActivityReport, NetStats, NocSim};
+use anoc_traffic::{Benchmark, BenchmarkTraffic, Injection, TrafficSource};
+
+use crate::config::{Mechanism, SystemConfig};
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The mechanism simulated.
+    pub mechanism: Mechanism,
+    /// Network statistics over the measurement window.
+    pub stats: NetStats,
+    /// Hardware activity for the power model.
+    pub activity: ActivityReport,
+    /// Number of nodes simulated.
+    pub nodes: usize,
+}
+
+impl RunResult {
+    /// Average end-to-end packet latency in cycles.
+    pub fn avg_packet_latency(&self) -> f64 {
+        self.stats.avg_packet_latency()
+    }
+
+    /// Delivered throughput in flits/node/cycle.
+    pub fn throughput(&self) -> f64 {
+        self.stats.throughput(self.nodes)
+    }
+
+    /// Data value quality (1 − mean relative word error).
+    pub fn data_quality(&self) -> f64 {
+        self.stats.quality.quality()
+    }
+
+    /// Tail latency: the given percentile of end-to-end packet latency.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        self.stats.latency_histogram.percentile(p)
+    }
+}
+
+/// Runs `mechanism` under the traffic produced by `source` for the
+/// configured warmup + measurement window, then drains.
+pub fn run_with_source(
+    source: &mut dyn TrafficSource,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+) -> RunResult {
+    let codecs = mechanism.codecs(config.noc.num_nodes(), config.threshold());
+    run_custom(source, mechanism, config, codecs)
+}
+
+/// Runs with explicitly supplied codec pairs — the entry point for
+/// extension mechanisms (BD-COMP/BD-VAXX, adaptive or windowed encoders)
+/// that [`Mechanism`] does not enumerate.
+///
+/// # Panics
+///
+/// Panics if `source` / `codecs` disagree with the configuration's node
+/// count.
+pub fn run_custom(
+    source: &mut dyn TrafficSource,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    codecs: Vec<anoc_noc::NodeCodec>,
+) -> RunResult {
+    let nodes = config.noc.num_nodes();
+    assert_eq!(
+        source.num_nodes(),
+        nodes,
+        "traffic source and NoC disagree on node count"
+    );
+    let mut sim = NocSim::new(config.noc.clone(), codecs);
+    let mut buf: Vec<Injection> = Vec::new();
+    let total = config.warmup_cycles + config.sim_cycles;
+    for cycle in 0..total {
+        if cycle == config.warmup_cycles {
+            sim.begin_measurement();
+        }
+        buf.clear();
+        source.tick(cycle, &mut buf);
+        for inj in buf.drain(..) {
+            match inj.payload {
+                Some(block) => {
+                    sim.enqueue_data(inj.src, inj.dest, block);
+                }
+                None => {
+                    sim.enqueue_control(inj.src, inj.dest);
+                }
+            }
+        }
+        sim.step();
+        sim.drain_delivered(); // keep the delivery buffer from growing
+    }
+    // Stop offering traffic; let in-flight measured packets finish.
+    sim.end_measurement();
+    sim.drain(config.drain_cycles);
+    sim.drain_delivered();
+    sim.record_unfinished();
+    let activity = sim.activity_report();
+    let stats = sim.stats().clone();
+    RunResult {
+        mechanism,
+        stats,
+        activity,
+        nodes,
+    }
+}
+
+/// Summary statistics over repeated runs with different seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedSummary {
+    /// Number of runs.
+    pub runs: usize,
+    /// Mean of the metric.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single run).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl SeedSummary {
+    /// Summarises a set of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise zero runs");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+        };
+        SeedSummary {
+            runs: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Runs `mechanism` under `benchmark`-shaped traffic once per seed and
+/// summarises the average packet latency — the multi-seed rigour the paper's
+/// single-trace methodology lacks.
+pub fn run_benchmark_seeds(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seeds: &[u64],
+) -> SeedSummary {
+    let latencies: Vec<f64> = seeds
+        .iter()
+        .map(|s| run_benchmark(benchmark, mechanism, config, *s).avg_packet_latency())
+        .collect();
+    SeedSummary::of(&latencies)
+}
+
+/// Runs `mechanism` under `benchmark`-shaped traffic.
+pub fn run_benchmark(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+) -> RunResult {
+    let mut source =
+        BenchmarkTraffic::new(benchmark, config.noc.num_nodes(), config.approx_ratio, seed);
+    run_with_source(&mut source, mechanism, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SystemConfig {
+        SystemConfig::paper().with_sim_cycles(4_000)
+    }
+
+    #[test]
+    fn baseline_run_produces_traffic_and_latency() {
+        let r = run_benchmark(Benchmark::Blackscholes, Mechanism::Baseline, &quick(), 1);
+        assert!(r.stats.packets > 50, "packets {}", r.stats.packets);
+        assert!(r.avg_packet_latency() > 5.0);
+        assert!(r.throughput() > 0.0);
+        assert_eq!(r.data_quality(), 1.0, "baseline is exact");
+        assert_eq!(r.mechanism, Mechanism::Baseline);
+        // Tail behaviour is recorded and ordered.
+        assert_eq!(r.stats.latency_histogram.samples(), r.stats.packets);
+        let (p50, p99) = (r.latency_percentile(50.0), r.latency_percentile(99.0));
+        assert!(p50 as f64 <= r.avg_packet_latency() * 2.0);
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+    }
+
+    #[test]
+    fn compression_reduces_injected_data_flits() {
+        let cfg = quick();
+        let base = run_benchmark(Benchmark::Ssca2, Mechanism::Baseline, &cfg, 2);
+        let fp = run_benchmark(Benchmark::Ssca2, Mechanism::FpComp, &cfg, 2);
+        assert_eq!(base.stats.normalized_data_flits(), 1.0);
+        assert!(
+            fp.stats.normalized_data_flits() < 0.95,
+            "FP-COMP flits {}",
+            fp.stats.normalized_data_flits()
+        );
+    }
+
+    #[test]
+    fn vaxx_compresses_more_than_exact_compression() {
+        let cfg = quick();
+        let fp = run_benchmark(Benchmark::Ssca2, Mechanism::FpComp, &cfg, 3);
+        let vaxx = run_benchmark(Benchmark::Ssca2, Mechanism::FpVaxx, &cfg, 3);
+        assert!(
+            vaxx.stats.encode.encoded_fraction() > fp.stats.encode.encoded_fraction(),
+            "vaxx {} vs fp {}",
+            vaxx.stats.encode.encoded_fraction(),
+            fp.stats.encode.encoded_fraction()
+        );
+        assert!(vaxx.stats.encode.approx_encoded > 0);
+        assert_eq!(
+            fp.stats.encode.approx_encoded, 0,
+            "FP-COMP never approximates"
+        );
+    }
+
+    #[test]
+    fn vaxx_quality_stays_above_97_percent() {
+        let cfg = quick();
+        for m in [Mechanism::DiVaxx, Mechanism::FpVaxx] {
+            let r = run_benchmark(Benchmark::Blackscholes, m, &cfg, 4);
+            assert!(r.data_quality() > 0.97, "{m}: quality {}", r.data_quality());
+        }
+    }
+
+    #[test]
+    fn seed_summary_statistics() {
+        let s = SeedSummary::of(&[10.0, 12.0, 14.0]);
+        assert_eq!(s.runs, 3);
+        assert!((s.mean - 12.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (10.0, 14.0));
+        let single = SeedSummary::of(&[7.0]);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn multi_seed_runs_agree_within_noise() {
+        let cfg = SystemConfig::paper().with_sim_cycles(1_500);
+        let s = run_benchmark_seeds(Benchmark::Bodytrack, Mechanism::FpVaxx, &cfg, &[1, 2, 3]);
+        assert_eq!(s.runs, 3);
+        assert!(s.mean > 5.0);
+        // Different seeds give different but same-regime results.
+        assert!(s.std_dev < s.mean * 0.5, "{s:?}");
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn exact_mechanisms_preserve_data_perfectly() {
+        let cfg = quick();
+        for m in [Mechanism::DiComp, Mechanism::FpComp] {
+            let r = run_benchmark(Benchmark::Streamcluster, m, &cfg, 5);
+            assert_eq!(r.data_quality(), 1.0, "{m} corrupted data");
+        }
+    }
+}

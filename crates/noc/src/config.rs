@@ -1,0 +1,183 @@
+//! NoC configuration (the knobs of Table 1).
+
+/// Configuration of the simulated network.
+///
+/// The default reproduces Table 1: a 4×4 concentrated 2D mesh (32 nodes, two
+/// per router) of three-stage routers at 2 GHz, four virtual channels with
+/// four-flit buffers, 64-bit flits, wormhole switching and XY routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Mesh width in routers.
+    pub width: usize,
+    /// Mesh height in routers.
+    pub height: usize,
+    /// Nodes (NIs) attached to each router.
+    pub concentration: usize,
+    /// Virtual channels per input port.
+    pub vcs: usize,
+    /// Buffer depth per virtual channel, in flits.
+    pub vc_buffer: usize,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+    /// Overlap compression latency with NI queueing time (§4.3's first
+    /// latency-hiding optimization).
+    pub hide_compression: bool,
+    /// Overlap the header flit's VC arbitration with compression (§4.3's
+    /// second optimization), shaving one exposed cycle.
+    pub va_overlap: bool,
+    /// Ship dictionary notifications as real single-flit control packets
+    /// instead of an instantaneous side channel.
+    pub notify_in_band: bool,
+}
+
+impl NocConfig {
+    /// The paper's Table 1 network.
+    pub fn paper_4x4_cmesh() -> Self {
+        NocConfig {
+            width: 4,
+            height: 4,
+            concentration: 2,
+            vcs: 4,
+            vc_buffer: 4,
+            flit_bits: 64,
+            hide_compression: true,
+            va_overlap: true,
+            notify_in_band: false,
+        }
+    }
+
+    /// A small 3×3 mesh (the running example of Figure 7).
+    pub fn mesh_3x3() -> Self {
+        NocConfig {
+            width: 3,
+            height: 3,
+            concentration: 1,
+            ..NocConfig::paper_4x4_cmesh()
+        }
+    }
+
+    /// The 8×8 mesh used for the full-system runs (§5.4).
+    pub fn mesh_8x8() -> Self {
+        NocConfig {
+            width: 8,
+            height: 8,
+            concentration: 1,
+            ..NocConfig::paper_4x4_cmesh()
+        }
+    }
+
+    /// Total number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Total number of nodes (NIs).
+    pub fn num_nodes(&self) -> usize {
+        self.num_routers() * self.concentration
+    }
+
+    /// Number of payload flits a data payload of `bits` occupies.
+    pub fn payload_flits(&self, bits: u32) -> u32 {
+        bits.div_ceil(self.flit_bits).max(1)
+    }
+
+    /// Total flits of a data packet carrying `bits` of payload (one header
+    /// flit plus the payload flits; internal fragmentation in the tail flit
+    /// is real, per §5.2.1).
+    pub fn data_packet_flits(&self, bits: u32) -> u32 {
+        1 + self.payload_flits(bits)
+    }
+
+    /// Validates structural soundness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 || self.height == 0 {
+            return Err("mesh dimensions must be positive".into());
+        }
+        if self.concentration == 0 {
+            return Err("concentration must be positive".into());
+        }
+        if self.vcs == 0 {
+            return Err("at least one virtual channel is required".into());
+        }
+        if self.vc_buffer == 0 {
+            return Err("VC buffers must hold at least one flit".into());
+        }
+        if self.flit_bits == 0 {
+            return Err("flit width must be positive".into());
+        }
+        if self.num_nodes() > u16::MAX as usize {
+            return Err("node ids are 16-bit".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::paper_4x4_cmesh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_counts() {
+        let c = NocConfig::paper_4x4_cmesh();
+        assert_eq!(c.num_routers(), 16);
+        assert_eq!(c.num_nodes(), 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn packet_flit_arithmetic() {
+        let c = NocConfig::default();
+        // Uncompressed 64 B block: 512 bits -> 8 payload + 1 header.
+        assert_eq!(c.data_packet_flits(512), 9);
+        // 100 bits round up to 2 flits + header.
+        assert_eq!(c.data_packet_flits(100), 3);
+        // Even an empty payload needs one flit.
+        assert_eq!(c.data_packet_flits(0), 2);
+        assert_eq!(c.payload_flits(64), 1);
+        assert_eq!(c.payload_flits(65), 2);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        for f in [
+            NocConfig {
+                width: 0,
+                ..Default::default()
+            },
+            NocConfig {
+                concentration: 0,
+                ..Default::default()
+            },
+            NocConfig {
+                vcs: 0,
+                ..Default::default()
+            },
+            NocConfig {
+                vc_buffer: 0,
+                ..Default::default()
+            },
+            NocConfig {
+                flit_bits: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(f.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(NocConfig::mesh_3x3().num_nodes(), 9);
+        assert_eq!(NocConfig::mesh_8x8().num_nodes(), 64);
+    }
+}

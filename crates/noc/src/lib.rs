@@ -1,0 +1,45 @@
+//! # anoc-noc
+//!
+//! A cycle-accurate network-on-chip simulator: wormhole switching,
+//! credit-based virtual-channel flow control, three-stage routers, XY routing
+//! on (concentrated) 2D meshes, and network interfaces hosting pluggable
+//! APPROX-NoC block codecs.
+//!
+//! This is the substrate the paper evaluates on ("a cycle accurate, in house
+//! NoC simulator", §5.1), rebuilt from the parameters of Table 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use anoc_noc::{NocConfig, NocSim, NodeCodec};
+//! use anoc_core::data::{CacheBlock, NodeId};
+//!
+//! let config = NocConfig::paper_4x4_cmesh();
+//! let codecs = (0..config.num_nodes()).map(|_| NodeCodec::baseline()).collect();
+//! let mut sim = NocSim::new(config, codecs);
+//!
+//! sim.enqueue_data(NodeId(0), NodeId(31), CacheBlock::from_i32(&[42; 16]));
+//! assert!(sim.drain(1_000));
+//! let delivered = sim.drain_delivered();
+//! assert_eq!(delivered[0].block.as_ref().unwrap().as_i32(), vec![42; 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod histogram;
+pub mod ni;
+pub mod packet;
+pub mod router;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+
+pub use config::NocConfig;
+pub use histogram::LatencyHistogram;
+pub use ni::NodeCodec;
+pub use packet::{Delivered, PacketId, PacketKind};
+pub use sim::NocSim;
+pub use stats::{ActivityReport, NetStats};
+pub use topology::{Direction, Mesh};

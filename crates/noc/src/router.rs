@@ -1,0 +1,461 @@
+//! The three-stage virtual-channel wormhole router.
+//!
+//! Pipeline model (Table 1: "2 GHz three stage router"): a flit written into
+//! an input VC buffer at cycle `a` (BW + RC) becomes eligible for allocation
+//! at `a+1` (VA + SA) and, once granted, traverses the switch and link to be
+//! written downstream at `g+2` (ST + LT) — three cycles per hop when
+//! uncontended. Credit-based flow control backpressures the VC buffers;
+//! virtual-channel allocation holds an output VC from a packet's head grant
+//! to its tail traversal (wormhole).
+
+use std::collections::VecDeque;
+
+use crate::packet::Flit;
+
+/// Where an output port's link lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDest {
+    /// Another router's input port.
+    Router {
+        /// Downstream router id.
+        router: usize,
+        /// Input port index at the downstream router.
+        port: usize,
+    },
+    /// A local NI's ejection path.
+    Eject {
+        /// The node ejected to.
+        node: usize,
+    },
+}
+
+/// Who feeds an input port (for credit return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Upstream {
+    /// An upstream router's output port.
+    Router {
+        /// Upstream router id.
+        router: usize,
+        /// Output port index at the upstream router.
+        port: usize,
+    },
+    /// A local NI's injection path.
+    Local {
+        /// The injecting node.
+        node: usize,
+    },
+}
+
+/// One virtual channel of an input port.
+#[derive(Debug, Clone)]
+struct VcState {
+    buf: VecDeque<Flit>,
+    out_port: Option<usize>,
+    out_vc: Option<usize>,
+}
+
+impl VcState {
+    fn new() -> Self {
+        VcState {
+            buf: VecDeque::new(),
+            out_port: None,
+            out_vc: None,
+        }
+    }
+}
+
+/// An input port: a set of VC buffers plus the upstream to credit.
+#[derive(Debug, Clone)]
+struct InPort {
+    vcs: Vec<VcState>,
+    rr: usize,
+    upstream: Option<Upstream>,
+}
+
+/// An output port: downstream link, per-VC credits and VC holders.
+#[derive(Debug, Clone)]
+struct OutPort {
+    dest: LinkDest,
+    credits: Vec<u32>,
+    holder: Vec<Option<(usize, usize)>>,
+    vc_rr: usize,
+    rr: usize,
+}
+
+/// A switch traversal granted this cycle, to be applied by the network.
+#[derive(Debug, Clone, Copy)]
+pub struct Traversal {
+    /// The moving flit.
+    pub flit: Flit,
+    /// Where it goes.
+    pub dest: LinkDest,
+    /// Downstream VC it occupies.
+    pub out_vc: usize,
+    /// Who to credit for the freed buffer slot.
+    pub credit_to: Option<(Upstream, usize)>,
+}
+
+/// Microarchitectural event counters of one router (drive the power model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterActivity {
+    /// Flits written into input buffers.
+    pub buffer_writes: u64,
+    /// Flits read out of input buffers (switch traversals).
+    pub buffer_reads: u64,
+    /// Output VC allocations performed.
+    pub vc_allocs: u64,
+    /// Switch allocation grants (crossbar traversals).
+    pub crossbar_traversals: u64,
+    /// Router-to-router link traversals.
+    pub link_traversals: u64,
+}
+
+impl RouterActivity {
+    /// Merges another activity record into this one.
+    pub fn merge(&mut self, other: &RouterActivity) {
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.vc_allocs += other.vc_allocs;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.link_traversals += other.link_traversals;
+    }
+}
+
+/// One mesh router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: usize,
+    in_ports: Vec<InPort>,
+    out_ports: Vec<OutPort>,
+    activity: RouterActivity,
+}
+
+impl Router {
+    /// Builds a router with `ports` ports, `vcs` VCs of `vc_buffer` flits.
+    /// Links and upstreams are wired afterwards by the network.
+    pub fn new(id: usize, ports: usize, vcs: usize, vc_buffer: usize) -> Self {
+        Router {
+            id,
+            in_ports: (0..ports)
+                .map(|_| InPort {
+                    vcs: (0..vcs).map(|_| VcState::new()).collect(),
+                    rr: 0,
+                    upstream: None,
+                })
+                .collect(),
+            out_ports: (0..ports)
+                .map(|_| OutPort {
+                    dest: LinkDest::Eject { node: usize::MAX },
+                    credits: vec![vc_buffer as u32; vcs],
+                    holder: vec![None; vcs],
+                    vc_rr: 0,
+                    rr: 0,
+                })
+                .collect(),
+            activity: RouterActivity::default(),
+        }
+    }
+
+    /// Router id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Wires output port `port` to `dest`. Ejection ports get effectively
+    /// unbounded credits (the NI sinks one flit per cycle regardless).
+    pub fn wire_output(&mut self, port: usize, dest: LinkDest) {
+        self.out_ports[port].dest = dest;
+        if matches!(dest, LinkDest::Eject { .. }) {
+            for c in &mut self.out_ports[port].credits {
+                *c = u32::MAX / 2;
+            }
+        }
+    }
+
+    /// Declares who feeds input port `port`.
+    pub fn wire_input(&mut self, port: usize, upstream: Upstream) {
+        self.in_ports[port].upstream = Some(upstream);
+    }
+
+    /// Accepts a flit into an input VC buffer (BW stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer would exceed the credited capacity — that would
+    /// be a flow-control bug, not a runtime condition.
+    pub fn accept_flit(&mut self, port: usize, vc: usize, flit: Flit) {
+        self.activity.buffer_writes += 1;
+        self.in_ports[port].vcs[vc].buf.push_back(flit);
+    }
+
+    /// Returns one credit for output port `port`, VC `vc`.
+    pub fn return_credit(&mut self, port: usize, vc: usize) {
+        let out = &mut self.out_ports[port];
+        if !matches!(out.dest, LinkDest::Eject { .. }) {
+            out.credits[vc] += 1;
+        }
+    }
+
+    /// Buffered flit count across all input VCs (for drain detection).
+    pub fn occupancy(&self) -> usize {
+        self.in_ports
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .map(|v| v.buf.len())
+            .sum()
+    }
+
+    /// Accumulated event counters.
+    pub fn activity(&self) -> RouterActivity {
+        self.activity
+    }
+
+    /// One allocation cycle: VA + SA over all ports, returning the granted
+    /// switch traversals. `route_of` maps a head flit's destination to an
+    /// output port (RC). At most one grant per input port and per output
+    /// port (a single-crossbar, separable allocator with round-robin
+    /// priorities).
+    pub fn allocate(&mut self, now: u64, route_of: impl Fn(&Flit) -> usize) -> Vec<Traversal> {
+        let num_in = self.in_ports.len();
+        let num_vcs = self
+            .in_ports
+            .first()
+            .map(|p| p.vcs.len())
+            .unwrap_or_default();
+        // Phase 1 — each input port nominates one (vc, out_port) request.
+        let mut requests: Vec<Option<(usize, usize)>> = vec![None; num_in]; // in_port -> (vc, out_port)
+        #[allow(clippy::needless_range_loop)] // ip indexes two parallel port arrays
+        for ip in 0..num_in {
+            let start = self.in_ports[ip].rr;
+            for k in 0..num_vcs {
+                let v = (start + k) % num_vcs;
+                // Inspect the head-of-line flit of this VC.
+                let Some(&flit) = self.in_ports[ip].vcs[v].buf.front() else {
+                    continue;
+                };
+                if flit.ready_at > now {
+                    continue;
+                }
+                // RC: resolve output port for a new packet.
+                if self.in_ports[ip].vcs[v].out_port.is_none() {
+                    debug_assert!(flit.is_head(), "body flit without an allocated route");
+                    let op = route_of(&flit);
+                    self.in_ports[ip].vcs[v].out_port = Some(op);
+                }
+                let op = self.in_ports[ip].vcs[v].out_port.expect("just set");
+                // VA: obtain an output VC if the packet does not hold one.
+                if self.in_ports[ip].vcs[v].out_vc.is_none() {
+                    let granted = self.try_vc_alloc(op, ip, v);
+                    if granted.is_none() {
+                        continue; // no free downstream VC; try another input VC
+                    }
+                    self.in_ports[ip].vcs[v].out_vc = granted;
+                    self.activity.vc_allocs += 1;
+                }
+                let ovc = self.in_ports[ip].vcs[v].out_vc.expect("allocated above");
+                // Credit check (ST needs a downstream buffer slot).
+                if self.out_ports[op].credits[ovc] == 0 {
+                    continue;
+                }
+                requests[ip] = Some((v, op));
+                break;
+            }
+        }
+        // Phase 2 — each output port grants one requesting input port.
+        let mut grants: Vec<Traversal> = Vec::new();
+        for op in 0..self.out_ports.len() {
+            let start = self.out_ports[op].rr;
+            let winner = (0..num_in)
+                .map(|k| (start + k) % num_in)
+                .find(|&ip| matches!(requests[ip], Some((_, p)) if p == op));
+            let Some(ip) = winner else { continue };
+            let (v, _) = requests[ip].take().expect("winner had a request");
+            let vc_state = &mut self.in_ports[ip].vcs[v];
+            let flit = vc_state.buf.pop_front().expect("nominated VC has a flit");
+            let ovc = vc_state.out_vc.expect("granted packets hold an output VC");
+            if flit.is_tail {
+                // Release the wormhole: route and output VC free up.
+                vc_state.out_port = None;
+                vc_state.out_vc = None;
+                self.out_ports[op].holder[ovc] = None;
+            }
+            self.out_ports[op].credits[ovc] -= 1;
+            self.activity.buffer_reads += 1;
+            self.activity.crossbar_traversals += 1;
+            if matches!(self.out_ports[op].dest, LinkDest::Router { .. }) {
+                self.activity.link_traversals += 1;
+            }
+            self.in_ports[ip].rr = (v + 1) % num_vcs;
+            self.out_ports[op].rr = (ip + 1) % num_in;
+            grants.push(Traversal {
+                flit,
+                dest: self.out_ports[op].dest,
+                out_vc: ovc,
+                credit_to: self.in_ports[ip].upstream.map(|u| (u, v)),
+            });
+        }
+        grants
+    }
+
+    /// Tries to allocate a free output VC at `op` for input `(ip, iv)`.
+    /// Ejection ports never serialise packets onto a single VC — the NI
+    /// reassembles per packet id — so they always grant the input's own VC.
+    fn try_vc_alloc(&mut self, op: usize, ip: usize, iv: usize) -> Option<usize> {
+        let out = &mut self.out_ports[op];
+        if matches!(out.dest, LinkDest::Eject { .. }) {
+            return Some(iv);
+        }
+        let n = out.holder.len();
+        let start = out.vc_rr;
+        for k in 0..n {
+            let v = (start + k) % n;
+            if out.holder[v].is_none() {
+                out.holder[v] = Some((ip, iv));
+                out.vc_rr = (v + 1) % n;
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anoc_core::data::NodeId;
+
+    fn flit(pid: u64, seq: u32, tail: bool, ready: u64) -> Flit {
+        Flit {
+            packet: pid,
+            seq,
+            is_tail: tail,
+            dest: NodeId(0),
+            ready_at: ready,
+        }
+    }
+
+    fn test_router() -> Router {
+        let mut r = Router::new(0, 3, 2, 4);
+        r.wire_output(1, LinkDest::Router { router: 1, port: 3 });
+        r.wire_output(2, LinkDest::Eject { node: 0 });
+        r.wire_input(0, Upstream::Local { node: 0 });
+        r
+    }
+
+    #[test]
+    fn single_flit_traverses_after_pipeline_delay() {
+        let mut r = test_router();
+        r.accept_flit(0, 0, flit(1, 0, true, 1));
+        // Not ready at cycle 0.
+        assert!(r.allocate(0, |_| 1).is_empty());
+        let grants = r.allocate(1, |_| 1);
+        assert_eq!(grants.len(), 1);
+        let t = grants[0];
+        assert_eq!(t.flit.packet, 1);
+        assert!(matches!(t.dest, LinkDest::Router { router: 1, port: 3 }));
+        assert!(matches!(
+            t.credit_to,
+            Some((Upstream::Local { node: 0 }, 0))
+        ));
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn credits_backpressure() {
+        let mut r = test_router();
+        // Exhaust the 4 credits of out port 1, vc 0 — a 5-flit packet stalls
+        // on the fifth flit until credits return.
+        for seq in 0..5 {
+            r.accept_flit(0, 0, flit(1, seq, seq == 4, 0));
+        }
+        let mut sent = 0;
+        for now in 1..=4 {
+            sent += r.allocate(now, |_| 1).len();
+        }
+        assert_eq!(sent, 4);
+        assert!(r.allocate(5, |_| 1).is_empty(), "no credit left");
+        r.return_credit(1, 0);
+        assert_eq!(r.allocate(6, |_| 1).len(), 1);
+    }
+
+    #[test]
+    fn wormhole_holds_output_vc_until_tail() {
+        let mut r = test_router();
+        // Packet A (head, not tail) on vc 0 grabs an output VC and keeps it.
+        r.accept_flit(0, 0, flit(1, 0, false, 0));
+        r.accept_flit(0, 1, flit(2, 0, true, 0));
+        let g1 = r.allocate(1, |_| 1);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1[0].flit.packet, 1);
+        let vc_a = g1[0].out_vc;
+        // Packet B must get a *different* output VC.
+        let g2 = r.allocate(2, |_| 1);
+        assert_eq!(g2.len(), 1);
+        assert_eq!(g2[0].flit.packet, 2);
+        assert_ne!(g2[0].out_vc, vc_a);
+        // A's tail arrives and releases the VC.
+        r.accept_flit(0, 0, flit(1, 1, true, 2));
+        let g3 = r.allocate(3, |_| 1);
+        assert_eq!(g3.len(), 1);
+        assert_eq!(g3[0].out_vc, vc_a);
+        // Now both output VCs are free again.
+        r.accept_flit(0, 0, flit(3, 0, true, 3));
+        let g4 = r.allocate(4, |_| 1);
+        assert_eq!(g4.len(), 1);
+    }
+
+    #[test]
+    fn output_port_grants_one_flit_per_cycle() {
+        let mut r = test_router();
+        // Two inputs contending for out port 1.
+        r.accept_flit(0, 0, flit(1, 0, true, 0));
+        r.accept_flit(1, 0, flit(2, 0, true, 0));
+        let g1 = r.allocate(1, |_| 1);
+        assert_eq!(g1.len(), 1);
+        let g2 = r.allocate(2, |_| 1);
+        assert_eq!(g2.len(), 1);
+        assert_ne!(g1[0].flit.packet, g2[0].flit.packet, "round-robin rotates");
+    }
+
+    #[test]
+    fn vc_exhaustion_blocks_new_packets() {
+        let mut r = test_router();
+        // Two in-progress packets hold both output VCs of port 1.
+        r.accept_flit(0, 0, flit(1, 0, false, 0));
+        r.accept_flit(0, 1, flit(2, 0, false, 0));
+        assert_eq!(r.allocate(1, |_| 1).len(), 1);
+        assert_eq!(r.allocate(2, |_| 1).len(), 1);
+        // A third packet from another input port finds no free VC.
+        r.accept_flit(1, 0, flit(3, 0, false, 0));
+        assert!(r.allocate(3, |_| 1).is_empty());
+        assert_eq!(r.activity().vc_allocs, 2);
+    }
+
+    #[test]
+    fn ejection_bypasses_vc_limits() {
+        let mut r = test_router();
+        r.accept_flit(0, 0, flit(1, 0, false, 0));
+        r.accept_flit(0, 1, flit(2, 0, false, 0));
+        r.accept_flit(1, 0, flit(3, 0, false, 0));
+        let mut got = 0;
+        for now in 1..=4 {
+            got += r.allocate(now, |_| 2).len();
+        }
+        assert_eq!(got, 3, "eject port never runs out of VCs or credits");
+    }
+
+    #[test]
+    fn activity_counters() {
+        let mut r = test_router();
+        r.accept_flit(0, 0, flit(1, 0, true, 0));
+        r.allocate(1, |_| 1);
+        let a = r.activity();
+        assert_eq!(a.buffer_writes, 1);
+        assert_eq!(a.buffer_reads, 1);
+        assert_eq!(a.crossbar_traversals, 1);
+        assert_eq!(a.link_traversals, 1);
+        let mut b = RouterActivity::default();
+        b.merge(&a);
+        assert_eq!(b, a);
+    }
+}

@@ -1,0 +1,255 @@
+//! Mesh topology, port geometry and dimension-ordered (XY) routing.
+
+use anoc_core::data::NodeId;
+
+use crate::config::NocConfig;
+
+/// A cardinal direction port of a mesh router. Local (NI) ports follow the
+/// four direction ports in the port numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Direction {
+    /// Towards smaller y.
+    North = 0,
+    /// Towards larger x.
+    East = 1,
+    /// Towards larger y.
+    South = 2,
+    /// Towards smaller x.
+    West = 3,
+}
+
+impl Direction {
+    /// All four directions in port order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The opposite direction (the input port a link lands on).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+/// Static description of a (concentrated) 2D mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+    concentration: usize,
+}
+
+impl Mesh {
+    /// Builds the mesh described by `config`.
+    pub fn new(config: &NocConfig) -> Self {
+        Mesh {
+            width: config.width,
+            height: config.height,
+            concentration: config.concentration,
+        }
+    }
+
+    /// Mesh width in routers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height in routers.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Nodes per router.
+    pub fn concentration(&self) -> usize {
+        self.concentration
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_routers() * self.concentration
+    }
+
+    /// Number of unidirectional router-to-router links.
+    pub fn num_links(&self) -> usize {
+        // Each adjacent pair has two unidirectional links.
+        2 * ((self.width - 1) * self.height + (self.height - 1) * self.width)
+    }
+
+    /// Ports per router: four directions plus one local port per attached
+    /// node.
+    pub fn ports_per_router(&self) -> usize {
+        4 + self.concentration
+    }
+
+    /// The router a node is attached to.
+    pub fn router_of(&self, node: NodeId) -> usize {
+        node.index() / self.concentration
+    }
+
+    /// The local port index (within the router) serving `node`.
+    pub fn local_port_of(&self, node: NodeId) -> usize {
+        4 + node.index() % self.concentration
+    }
+
+    /// The node attached to `router` at local port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not a local port.
+    pub fn node_at(&self, router: usize, port: usize) -> NodeId {
+        assert!(port >= 4, "port {port} is a direction, not a local port");
+        NodeId::from(router * self.concentration + (port - 4))
+    }
+
+    /// `(x, y)` coordinates of a router.
+    pub fn coords(&self, router: usize) -> (usize, usize) {
+        (router % self.width, router / self.width)
+    }
+
+    /// Router id from coordinates.
+    pub fn router_at(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+
+    /// The neighbouring router in `dir`, if any.
+    pub fn neighbor(&self, router: usize, dir: Direction) -> Option<usize> {
+        let (x, y) = self.coords(router);
+        match dir {
+            Direction::North if y > 0 => Some(self.router_at(x, y - 1)),
+            Direction::South if y + 1 < self.height => Some(self.router_at(x, y + 1)),
+            Direction::East if x + 1 < self.width => Some(self.router_at(x + 1, y)),
+            Direction::West if x > 0 => Some(self.router_at(x - 1, y)),
+            _ => None,
+        }
+    }
+
+    /// XY (dimension-ordered) routing: the output port at `router` towards
+    /// `dest`. X is fully resolved before Y; at the destination router the
+    /// packet exits through the node's local port. Deadlock-free on a mesh.
+    pub fn route_xy(&self, router: usize, dest: NodeId) -> usize {
+        let dest_router = self.router_of(dest);
+        if router == dest_router {
+            return self.local_port_of(dest);
+        }
+        let (x, y) = self.coords(router);
+        let (dx, dy) = self.coords(dest_router);
+        if x < dx {
+            Direction::East as usize
+        } else if x > dx {
+            Direction::West as usize
+        } else if y < dy {
+            Direction::South as usize
+        } else {
+            Direction::North as usize
+        }
+    }
+
+    /// Hop count of the XY route between two nodes (router-to-router links).
+    pub fn hops(&self, src: NodeId, dest: NodeId) -> usize {
+        let (sx, sy) = self.coords(self.router_of(src));
+        let (dx, dy) = self.coords(self.router_of(dest));
+        sx.abs_diff(dx) + sy.abs_diff(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(&NocConfig::paper_4x4_cmesh())
+    }
+
+    #[test]
+    fn geometry() {
+        let m = mesh();
+        assert_eq!(m.num_routers(), 16);
+        assert_eq!(m.num_nodes(), 32);
+        assert_eq!(m.ports_per_router(), 6);
+        assert_eq!(m.num_links(), 48); // 2 * (3*4 + 3*4)
+        assert_eq!(m.router_of(NodeId(0)), 0);
+        assert_eq!(m.router_of(NodeId(1)), 0);
+        assert_eq!(m.router_of(NodeId(2)), 1);
+        assert_eq!(m.local_port_of(NodeId(3)), 5);
+        assert_eq!(m.node_at(1, 5), NodeId(3));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = mesh();
+        for r in 0..m.num_routers() {
+            let (x, y) = m.coords(r);
+            assert_eq!(m.router_at(x, y), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let m = mesh();
+        // Corner router 0.
+        assert_eq!(m.neighbor(0, Direction::North), None);
+        assert_eq!(m.neighbor(0, Direction::West), None);
+        assert_eq!(m.neighbor(0, Direction::East), Some(1));
+        assert_eq!(m.neighbor(0, Direction::South), Some(4));
+        // Centre router 5 has all four.
+        for d in Direction::ALL {
+            assert!(m.neighbor(5, d).is_some());
+        }
+    }
+
+    #[test]
+    fn opposite_directions() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn xy_routes_x_first() {
+        let m = mesh();
+        // Node 0 (router 0) to node 31 (router 15 = (3,3)).
+        let dest = NodeId(31);
+        assert_eq!(m.route_xy(0, dest), Direction::East as usize);
+        assert_eq!(m.route_xy(1, dest), Direction::East as usize);
+        assert_eq!(m.route_xy(3, dest), Direction::South as usize);
+        assert_eq!(m.route_xy(7, dest), Direction::South as usize);
+        assert_eq!(m.route_xy(15, dest), 5); // local port of node 31
+    }
+
+    #[test]
+    fn xy_route_terminates_everywhere() {
+        let m = mesh();
+        for src in 0..m.num_nodes() {
+            for dst in 0..m.num_nodes() {
+                let dest = NodeId::from(dst);
+                let mut router = m.router_of(NodeId::from(src));
+                let mut hops = 0;
+                loop {
+                    let port = m.route_xy(router, dest);
+                    if port >= 4 {
+                        assert_eq!(m.node_at(router, port), dest);
+                        break;
+                    }
+                    let dir = Direction::ALL[port];
+                    router = m.neighbor(router, dir).expect("route fell off the mesh");
+                    hops += 1;
+                    assert!(hops <= m.width() + m.height(), "routing loop");
+                }
+                assert_eq!(hops, m.hops(NodeId::from(src), dest));
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! NoC integration tests exercising codec-coupled behaviour that the unit
+//! tests (baseline codecs only) cannot reach: in-band dictionary
+//! notifications, the §4.3 latency-hiding optimizations, and allocation
+//! fairness under sustained contention.
+
+use anoc_compression::di::{DiConfig, DiDecoder, DiEncoder};
+use anoc_core::avcl::Avcl;
+use anoc_core::data::{CacheBlock, NodeId};
+use anoc_core::threshold::ErrorThreshold;
+use anoc_noc::{NocConfig, NocSim, NodeCodec, PacketKind};
+
+fn di_codecs(nodes: usize, in_band: bool) -> Vec<NodeCodec> {
+    let _ = in_band;
+    let cfg = DiConfig::for_nodes(nodes);
+    let t = ErrorThreshold::from_percent(10).expect("valid");
+    (0..nodes)
+        .map(|_| {
+            NodeCodec::new(
+                Box::new(DiEncoder::di_vaxx(cfg, Avcl::new(t))),
+                Box::new(DiDecoder::new(cfg)),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn in_band_notifications_travel_as_control_packets() {
+    let mut config = NocConfig::mesh_3x3();
+    config.notify_in_band = true;
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, di_codecs(nodes, true));
+    // Repeated data from node 0 to node 8, spaced out so earlier blocks are
+    // decoded (and the dictionary learned) before later ones are encoded:
+    // the decoder must send install notifications back as real single-flit
+    // control packets.
+    for round in 0..8 {
+        sim.enqueue_data(NodeId(0), NodeId(8), CacheBlock::from_i32(&[0xBEEF; 16]));
+        let _ = round;
+        sim.run(200);
+    }
+    assert!(sim.drain(20_000));
+    let delivered = sim.drain_delivered();
+    let controls = delivered
+        .iter()
+        .filter(|d| d.kind == PacketKind::Control)
+        .count();
+    let datas = delivered
+        .iter()
+        .filter(|d| d.kind == PacketKind::Data)
+        .count();
+    assert_eq!(datas, 8);
+    assert!(
+        controls >= 1,
+        "dictionary installs should appear as control packets"
+    );
+    // All notification packets flow decoder -> encoder (node 8 -> node 0).
+    for d in delivered.iter().filter(|d| d.kind == PacketKind::Control) {
+        assert_eq!(d.src, NodeId(8));
+        assert_eq!(d.dest, NodeId(0));
+    }
+    // And the dictionary did its job: later blocks compress.
+    assert!(
+        sim.stats().encode.encoded_fraction() > 0.3,
+        "{:?}",
+        sim.stats().encode
+    );
+}
+
+#[test]
+fn latency_hiding_reduces_exposed_compression_latency() {
+    // A single packet into an empty NI pays the exposed compression latency;
+    // with both optimizations it pays comp - 1, without them the full comp.
+    let run = |hide: bool, overlap: bool| {
+        let mut config = NocConfig::mesh_3x3();
+        config.hide_compression = hide;
+        config.va_overlap = overlap;
+        let nodes = config.num_nodes();
+        let t = ErrorThreshold::from_percent(10).expect("valid");
+        let codecs = (0..nodes)
+            .map(|_| {
+                NodeCodec::new(
+                    Box::new(anoc_compression::fp::FpEncoder::fp_vaxx(Avcl::new(t))),
+                    Box::new(anoc_compression::fp::FpDecoder::new()),
+                )
+            })
+            .collect();
+        let mut sim = NocSim::new(config, codecs);
+        sim.enqueue_data(NodeId(0), NodeId(8), CacheBlock::from_i32(&[7; 16]));
+        assert!(sim.drain(10_000));
+        sim.stats().avg_queue_latency()
+    };
+    let with_overlap = run(true, true);
+    let without_overlap = run(true, false);
+    // The VA overlap shaves exactly one exposed cycle for a lone packet.
+    assert!(
+        (without_overlap - with_overlap - 1.0).abs() < 1e-9,
+        "with {with_overlap} vs without {without_overlap}"
+    );
+    // With an empty queue hide_compression alone changes nothing (nothing to
+    // amortize against) — the exposed latency is the same.
+    let no_hiding = run(false, false);
+    assert!((no_hiding - without_overlap).abs() < 1e-9);
+}
+
+#[test]
+fn queue_overlap_hides_compression_under_backlog() {
+    // With a backlog, hide_compression removes the exposed latency entirely
+    // for the queued packets.
+    let run = |hide: bool| {
+        let mut config = NocConfig::mesh_3x3();
+        config.hide_compression = hide;
+        config.va_overlap = false;
+        let nodes = config.num_nodes();
+        let t = ErrorThreshold::from_percent(10).expect("valid");
+        let codecs = (0..nodes)
+            .map(|_| {
+                NodeCodec::new(
+                    Box::new(anoc_compression::fp::FpEncoder::fp_vaxx(Avcl::new(t))),
+                    Box::new(anoc_compression::fp::FpDecoder::new()),
+                )
+            })
+            .collect();
+        let mut sim = NocSim::new(config, codecs);
+        for _ in 0..10 {
+            sim.enqueue_data(
+                NodeId(0),
+                NodeId(8),
+                CacheBlock::from_i32(&[0x12345678; 16]),
+            );
+        }
+        assert!(sim.drain(20_000));
+        sim.stats().queue_lat_sum
+    };
+    let hidden = run(true);
+    let exposed = run(false);
+    assert!(
+        hidden < exposed,
+        "queue overlap should hide compression: {hidden} vs {exposed}"
+    );
+}
+
+#[test]
+fn switch_allocation_is_fair_under_contention() {
+    // Three nodes hammer one destination; per-source delivered counts should
+    // be within a reasonable band of each other (round-robin arbitration).
+    let config = NocConfig::mesh_3x3();
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, (0..nodes).map(|_| NodeCodec::baseline()).collect());
+    let sources = [NodeId(0), NodeId(2), NodeId(6)];
+    let mut offered = std::collections::HashMap::new();
+    for round in 0..600 {
+        if round % 2 == 0 {
+            for s in sources {
+                sim.enqueue_data(s, NodeId(4), CacheBlock::from_i32(&[1; 16]));
+                *offered.entry(s).or_insert(0u32) += 1;
+            }
+        }
+        sim.step();
+    }
+    sim.drain(100_000);
+    let delivered = sim.drain_delivered();
+    let mut per_src = std::collections::HashMap::new();
+    for d in &delivered {
+        *per_src.entry(d.src).or_insert(0u32) += 1;
+    }
+    let counts: Vec<u32> = sources.iter().map(|s| per_src[s]).collect();
+    let min = *counts.iter().min().expect("three sources");
+    let max = *counts.iter().max().expect("three sources");
+    assert_eq!(counts.iter().sum::<u32>() as usize, delivered.len());
+    assert!(
+        max - min <= max / 3 + 2,
+        "unfair delivery counts: {counts:?}"
+    );
+}
+
+#[test]
+fn drain_reports_failure_when_deadline_too_short() {
+    let config = NocConfig::mesh_3x3();
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, (0..nodes).map(|_| NodeCodec::baseline()).collect());
+    for _ in 0..50 {
+        sim.enqueue_data(NodeId(0), NodeId(8), CacheBlock::from_i32(&[1; 16]));
+    }
+    assert!(!sim.drain(10), "50 big packets cannot drain in 10 cycles");
+    assert!(sim.outstanding_packets() > 0);
+    assert!(sim.drain(100_000), "and they do drain eventually");
+}
+
+#[test]
+fn traced_pipeline_timing_is_three_cycles_per_hop() {
+    use anoc_noc::packet::TraceEvent;
+    let config = NocConfig::mesh_3x3();
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, (0..nodes).map(|_| NodeCodec::baseline()).collect());
+    sim.enable_tracing();
+    // Node 0 -> node 2: two X hops, uncontended.
+    let pid = sim.enqueue_control(NodeId(0), NodeId(2));
+    assert!(sim.drain(1_000));
+    let trace = sim.trace(pid).expect("tracing enabled").to_vec();
+    // Created at 0, injected next cycle, first router +1 (link), second
+    // router +3 (BW cycle + VA/SA cycle + ST/LT), eject +3 more.
+    let at = |ev: TraceEvent| {
+        trace
+            .iter()
+            .find(|(_, e)| *e == ev)
+            .unwrap_or_else(|| panic!("missing {ev:?} in {trace:?}"))
+            .0
+    };
+    assert_eq!(at(TraceEvent::Created), 0);
+    let injected = at(TraceEvent::Injected);
+    let r0 = at(TraceEvent::RouterArrival { router: 0 });
+    let r1 = at(TraceEvent::RouterArrival { router: 1 });
+    let r2 = at(TraceEvent::RouterArrival { router: 2 });
+    let ejected = at(TraceEvent::Ejected);
+    assert_eq!(r0, injected + 1, "NI link is one cycle");
+    assert_eq!(r1 - r0, 3, "three-stage router pipeline per hop");
+    assert_eq!(r2 - r1, 3);
+    assert_eq!(ejected - r2, 3, "ejection passes through the last router");
+    assert_eq!(
+        at(TraceEvent::Completed),
+        ejected,
+        "control packets decode in 0 cycles"
+    );
+    // Untracked packets have no trace.
+    assert!(sim.trace(pid + 1).is_none());
+}

@@ -1,0 +1,291 @@
+//! Traffic sources: per-cycle packet injections for the simulator.
+//!
+//! Sources are decoupled from the simulator: each cycle they emit a list of
+//! [`Injection`]s the driver enqueues into the NoC. Two kinds exist, matching
+//! the paper's two methodologies (§5.1):
+//!
+//! * [`BenchmarkTraffic`] — closed-form model of a benchmark's communication
+//!   (its offered load, burst phases, data:control mix and data values);
+//! * [`SyntheticTraffic`] — classic rate-swept synthetic traffic (UR/TR/...)
+//!   whose *data payloads* come from a benchmark data pool, exactly like the
+//!   paper's throughput study ("the synthetic workloads can be used to vary
+//!   the traffic pattern/injection rate but the data being communicated can
+//!   be kept constant and correlated with data locality in the benchmarks").
+
+use anoc_core::data::{CacheBlock, NodeId};
+use anoc_core::rng::Pcg32;
+
+use crate::datamodel::{Benchmark, DataModel};
+use crate::pattern::DestPattern;
+use crate::trace::DataPool;
+
+/// One packet to inject this cycle.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Payload: `None` for a control packet, a cache block for data.
+    pub payload: Option<CacheBlock>,
+}
+
+/// A generator of per-cycle injections.
+pub trait TrafficSource {
+    /// Emits the injections for `cycle`, appending to `out`.
+    fn tick(&mut self, cycle: u64, out: &mut Vec<Injection>);
+
+    /// Number of nodes this source drives.
+    fn num_nodes(&self) -> usize;
+}
+
+/// Benchmark-shaped traffic: Bernoulli packet generation per node at the
+/// profile's load, with bursty phases, the profile's data:control mix, and
+/// values drawn from the benchmark data model.
+#[derive(Debug, Clone)]
+pub struct BenchmarkTraffic {
+    benchmark: Benchmark,
+    num_nodes: usize,
+    model: DataModel,
+    rng: Pcg32,
+    approx_ratio: f64,
+    load_scale: f64,
+    /// Remaining cycles of the current phase, and whether it is a burst.
+    phase: (u64, bool),
+}
+
+impl BenchmarkTraffic {
+    /// Creates benchmark traffic over `num_nodes` nodes. `approx_ratio` is
+    /// the fraction of data packets flagged approximable (the paper's
+    /// default is 0.75).
+    pub fn new(benchmark: Benchmark, num_nodes: usize, approx_ratio: f64, seed: u64) -> Self {
+        BenchmarkTraffic {
+            benchmark,
+            num_nodes,
+            model: DataModel::new(benchmark, seed),
+            rng: Pcg32::new(seed, 0x6765_6e65_7261),
+            approx_ratio,
+            load_scale: 1.0,
+            phase: (0, false),
+        }
+    }
+
+    /// Scales the profile's offered load (for sensitivity studies).
+    #[must_use]
+    pub fn with_load_scale(mut self, scale: f64) -> Self {
+        self.load_scale = scale;
+        self
+    }
+
+    /// The benchmark this source models.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+}
+
+impl TrafficSource for BenchmarkTraffic {
+    fn tick(&mut self, _cycle: u64, out: &mut Vec<Injection>) {
+        let profile = *self.model.profile();
+        // Phase machine: alternate steady and bursty intervals.
+        if self.phase.0 == 0 {
+            let burst = self.rng.chance(profile.burstiness);
+            let len = self.rng.range(200, 800) as u64;
+            self.phase = (len, burst);
+        }
+        self.phase.0 -= 1;
+        let burst_mult = if self.phase.1 { 4.0 } else { 1.0 };
+        let rate = (profile.load * self.load_scale * burst_mult).min(1.0);
+        for node in 0..self.num_nodes {
+            if !self.rng.chance(rate) {
+                continue;
+            }
+            let src = NodeId::from(node);
+            let dest = DestPattern::UniformRandom.dest(src, self.num_nodes, &mut self.rng);
+            let payload = if self.rng.chance(profile.data_packet_ratio) {
+                let approx = self.rng.chance(self.approx_ratio);
+                Some(self.model.next_block(approx))
+            } else {
+                None
+            };
+            out.push(Injection { src, dest, payload });
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+/// Rate-swept synthetic traffic with benchmark data payloads (Figure 12).
+#[derive(Debug, Clone)]
+pub struct SyntheticTraffic {
+    pattern: DestPattern,
+    num_nodes: usize,
+    pool: DataPool,
+    rng: Pcg32,
+    /// Offered load in flits per node per cycle.
+    flit_rate: f64,
+    /// Fraction of packets that are data packets (25:75 in §5.2.2).
+    data_ratio: f64,
+    approx_ratio: f64,
+    /// Average flits per data packet (for converting flit rate to packet
+    /// rate); the uncompressed size is used so offered load is
+    /// mechanism-independent.
+    data_flits: f64,
+}
+
+impl SyntheticTraffic {
+    /// Creates a synthetic source.
+    ///
+    /// * `flit_rate` — offered load in flits/node/cycle (the x-axis of
+    ///   Figure 12);
+    /// * `data_ratio` — fraction of packets carrying data (0.25 in §5.2.2);
+    /// * `pool` — benchmark data pool supplying payload values.
+    pub fn new(
+        pattern: DestPattern,
+        num_nodes: usize,
+        pool: DataPool,
+        flit_rate: f64,
+        data_ratio: f64,
+        approx_ratio: f64,
+        seed: u64,
+    ) -> Self {
+        let data_flits = 9.0; // uncompressed 64 B block on 64-bit flits
+        SyntheticTraffic {
+            pattern,
+            num_nodes,
+            pool,
+            rng: Pcg32::new(seed, 0x0073_796e_7468),
+            flit_rate,
+            data_ratio,
+            approx_ratio,
+            data_flits,
+        }
+    }
+
+    /// The offered load in flits/node/cycle.
+    pub fn flit_rate(&self) -> f64 {
+        self.flit_rate
+    }
+}
+
+impl TrafficSource for SyntheticTraffic {
+    fn tick(&mut self, _cycle: u64, out: &mut Vec<Injection>) {
+        // Convert the flit rate to a packet rate given the mix's average
+        // packet size.
+        let avg_flits = self.data_ratio * self.data_flits + (1.0 - self.data_ratio);
+        let packet_rate = (self.flit_rate / avg_flits).min(1.0);
+        for node in 0..self.num_nodes {
+            if !self.rng.chance(packet_rate) {
+                continue;
+            }
+            let src = NodeId::from(node);
+            let dest = self.pattern.dest(src, self.num_nodes, &mut self.rng);
+            let payload = if self.rng.chance(self.data_ratio) {
+                let approx = self.rng.chance(self.approx_ratio);
+                Some(self.pool.draw(&mut self.rng).with_approximable(approx))
+            } else {
+                None
+            };
+            out.push(Injection { src, dest, payload });
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_traffic_rate_is_roughly_the_profile_load() {
+        let n = 32;
+        let mut t = BenchmarkTraffic::new(Benchmark::Blackscholes, n, 0.75, 1);
+        let mut out = Vec::new();
+        let cycles = 5000;
+        for c in 0..cycles {
+            t.tick(c, &mut out);
+        }
+        let per_node_per_cycle = out.len() as f64 / (n as f64 * cycles as f64);
+        let base = Benchmark::Blackscholes.profile().load;
+        // Bursts push the average above the base load, but within ~4x.
+        assert!(
+            per_node_per_cycle > base * 0.8 && per_node_per_cycle < base * 4.0,
+            "rate {per_node_per_cycle} vs base {base}"
+        );
+        assert_eq!(t.num_nodes(), n);
+    }
+
+    #[test]
+    fn data_control_mix_matches_profile() {
+        let mut t = BenchmarkTraffic::new(Benchmark::Ssca2, 16, 0.75, 2);
+        let mut out = Vec::new();
+        for c in 0..4000 {
+            t.tick(c, &mut out);
+        }
+        let data = out.iter().filter(|i| i.payload.is_some()).count();
+        let ratio = data as f64 / out.len() as f64;
+        let want = Benchmark::Ssca2.profile().data_packet_ratio;
+        assert!((ratio - want).abs() < 0.05, "ratio {ratio} want {want}");
+    }
+
+    #[test]
+    fn approx_ratio_respected() {
+        let mut t = BenchmarkTraffic::new(Benchmark::Ssca2, 16, 0.5, 3);
+        let mut out = Vec::new();
+        for c in 0..4000 {
+            t.tick(c, &mut out);
+        }
+        let blocks: Vec<_> = out.iter().filter_map(|i| i.payload.as_ref()).collect();
+        let approx = blocks.iter().filter(|b| b.is_approximable()).count();
+        let frac = approx as f64 / blocks.len() as f64;
+        assert!((frac - 0.5).abs() < 0.06, "approximable fraction {frac}");
+    }
+
+    #[test]
+    fn synthetic_traffic_sweeps_rate() {
+        let pool = DataPool::from_benchmark(Benchmark::Blackscholes, 64, 4);
+        for rate in [0.05, 0.3] {
+            let mut t = SyntheticTraffic::new(
+                DestPattern::UniformRandom,
+                32,
+                pool.clone(),
+                rate,
+                0.25,
+                0.75,
+                5,
+            );
+            let mut out = Vec::new();
+            for c in 0..3000 {
+                t.tick(c, &mut out);
+            }
+            // offered flits = packets * avg size
+            let flits: f64 = out
+                .iter()
+                .map(|i| if i.payload.is_some() { 9.0 } else { 1.0 })
+                .sum();
+            let measured = flits / (32.0 * 3000.0);
+            assert!(
+                (measured - rate).abs() < rate * 0.25,
+                "measured {measured} vs offered {rate}"
+            );
+            assert_eq!(t.flit_rate(), rate);
+        }
+    }
+
+    #[test]
+    fn synthetic_traffic_respects_pattern() {
+        let pool = DataPool::from_benchmark(Benchmark::Streamcluster, 16, 6);
+        let mut t = SyntheticTraffic::new(DestPattern::BitComplement, 16, pool, 0.2, 0.25, 0.75, 7);
+        let mut out = Vec::new();
+        for c in 0..200 {
+            t.tick(c, &mut out);
+        }
+        for i in &out {
+            assert_eq!(i.dest.0, (!i.src.0) & 15);
+        }
+    }
+}
