@@ -84,6 +84,22 @@ impl QualityAccumulator {
         1.0 - self.mean_relative_error()
     }
 
+    /// The raw sum of per-word relative errors (for exact persistence).
+    pub fn error_sum(&self) -> f64 {
+        self.error_sum
+    }
+
+    /// Rebuilds an accumulator from its raw components, the inverse of
+    /// reading [`words`](Self::words), [`error_sum`](Self::error_sum) and
+    /// [`max_relative_error`](Self::max_relative_error).
+    pub fn from_raw(words: u64, error_sum: f64, max_error: f64) -> Self {
+        QualityAccumulator {
+            words,
+            error_sum,
+            max_error,
+        }
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &QualityAccumulator) {
         self.words += other.words;

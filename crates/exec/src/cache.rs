@@ -1,0 +1,226 @@
+//! The on-disk result cache.
+//!
+//! Entries are plain text files named by the FNV-1a digest of the job's
+//! canonical key. Each file stores the full key (so hash collisions are
+//! detected and treated as misses, never as wrong results) followed by the
+//! serialized payload:
+//!
+//! ```text
+//! # anoc-cache v1
+//! key fig9 config{...} mechanism=FP-VAXX benchmark=ssca2 seed=42
+//! ---
+//! <payload lines...>
+//! ```
+//!
+//! Writes go through a per-process temp file and an atomic rename, so
+//! concurrent campaign workers never observe torn entries.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::hash::key_digest;
+
+/// Magic first line of every cache file.
+const MAGIC: &str = "# anoc-cache v1";
+
+/// A directory of cached campaign results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// Opens the default cache location: `$ANOC_CACHE_DIR` if set, else
+    /// `target/anoc-cache` under the current directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn open_default() -> io::Result<Self> {
+        ResultCache::open(default_cache_dir())
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{}.txt", key_digest(key)))
+    }
+
+    /// Looks up `key`, returning the stored payload on a hit.
+    ///
+    /// Unreadable, malformed or colliding entries are misses — a cache can
+    /// never fail a campaign, only slow it down.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let content = std::fs::read_to_string(self.path_of(key)).ok()?;
+        let mut lines = content.splitn(4, '\n');
+        if lines.next()? != MAGIC {
+            return None;
+        }
+        let stored_key = lines.next()?.strip_prefix("key ")?;
+        if stored_key != key {
+            return None; // digest collision
+        }
+        if lines.next()? != "---" {
+            return None;
+        }
+        Some(lines.next().unwrap_or("").to_string())
+    }
+
+    /// Stores `payload` under `key`, replacing any previous entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the entry.
+    pub fn put(&self, key: &str, payload: &str) -> io::Result<()> {
+        assert!(!key.contains('\n'), "cache keys must be single-line");
+        let final_path = self.path_of(key);
+        let tmp_path = self
+            .dir
+            .join(format!(".{}.tmp-{}", key_digest(key), std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            writeln!(f, "{MAGIC}")?;
+            writeln!(f, "key {key}")?;
+            writeln!(f, "---")?;
+            f.write_all(payload.as_bytes())?;
+        }
+        std::fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entry_paths().count()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size of all entries in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.entry_paths()
+            .filter_map(|p| p.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Deletes every entry, returning how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first deletion error.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for path in self.entry_paths().collect::<Vec<_>>() {
+            std::fs::remove_file(path)?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    fn entry_paths(&self) -> impl Iterator<Item = PathBuf> {
+        std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == "txt")
+                    && p.file_stem()
+                        .and_then(|s| s.to_str())
+                        .is_some_and(|s| s.len() == 16 && s.chars().all(|c| c.is_ascii_hexdigit()))
+            })
+    }
+}
+
+/// The default cache directory: `$ANOC_CACHE_DIR` or `target/anoc-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("ANOC_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("anoc-cache"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(name: &str) -> ResultCache {
+        let dir =
+            std::env::temp_dir().join(format!("anoc-exec-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).expect("open temp cache")
+    }
+
+    #[test]
+    fn roundtrip_hit() {
+        let cache = temp_cache("roundtrip");
+        assert!(cache.get("k1").is_none());
+        cache.put("k1", "line a\nline b\n").expect("put");
+        assert_eq!(cache.get("k1").as_deref(), Some("line a\nline b\n"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.size_bytes() > 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn different_keys_do_not_alias() {
+        let cache = temp_cache("alias");
+        cache.put("config a", "A").expect("put");
+        cache.put("config b", "B").expect("put");
+        assert_eq!(cache.get("config a").as_deref(), Some("A"));
+        assert_eq!(cache.get("config b").as_deref(), Some("B"));
+        assert!(cache.get("config c").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn collision_or_corruption_is_a_miss() {
+        let cache = temp_cache("corrupt");
+        cache.put("real key", "payload").expect("put");
+        let path = cache.dir().join(format!("{}.txt", key_digest("real key")));
+        // Corrupt the stored key: same digest file, different key line.
+        std::fs::write(&path, format!("{MAGIC}\nkey other key\n---\npayload")).expect("write");
+        assert!(cache.get("real key").is_none());
+        // Garbage content is also just a miss.
+        std::fs::write(&path, "not a cache file").expect("write");
+        assert!(cache.get("real key").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let cache = temp_cache("clear");
+        for i in 0..5 {
+            cache.put(&format!("key {i}"), "x").expect("put");
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.clear().expect("clear"), 5);
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn overwrite_replaces_payload() {
+        let cache = temp_cache("overwrite");
+        cache.put("k", "old").expect("put");
+        cache.put("k", "new").expect("put");
+        assert_eq!(cache.get("k").as_deref(), Some("new"));
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,309 @@
+//! The campaign planner: expand a figure into jobs, execute in parallel,
+//! merge deterministically.
+//!
+//! A campaign is an ordered plan of [`JobSpec`]s. Execution may complete in
+//! any order across worker threads, but results are always merged back **in
+//! plan order**, so a parallel campaign is bit-identical to running the same
+//! plan serially. Each job carries a canonical content `key`; when a
+//! [`ResultCache`] and [`ResultCodec`] are supplied, cached cells skip
+//! simulation entirely and fresh results are written back for next time.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::pool::ThreadPool;
+use crate::progress::Progress;
+
+/// One schedulable unit of work: a single simulation cell.
+pub struct JobSpec<T> {
+    /// Human-readable stable identifier, e.g. `fig9/ssca2/FP-VAXX/s42`.
+    pub id: String,
+    /// Canonical single-line content key; equal keys ⇒ equal results.
+    pub key: String,
+    work: Box<dyn FnOnce() -> T + Send + 'static>,
+}
+
+impl<T> JobSpec<T> {
+    /// Builds a job from its identifiers and the closure computing it.
+    pub fn new(
+        id: impl Into<String>,
+        key: impl Into<String>,
+        work: impl FnOnce() -> T + Send + 'static,
+    ) -> Self {
+        JobSpec {
+            id: id.into(),
+            key: key.into(),
+            work: Box::new(work),
+        }
+    }
+}
+
+/// Serializes results to and from the cache's text payloads.
+pub trait ResultCodec<T> {
+    /// Encodes a result as a text payload.
+    fn encode(&self, value: &T) -> String;
+    /// Decodes a payload; `None` (stale/foreign format) forces a re-run.
+    fn decode(&self, payload: &str) -> Option<T>;
+}
+
+/// Execution knobs for one campaign.
+pub struct CampaignOptions {
+    /// Label shown in progress lines.
+    pub label: String,
+    /// Force progress reporting off (overrides the `ANOC_PROGRESS` policy).
+    pub quiet: bool,
+}
+
+impl CampaignOptions {
+    /// Options with a progress label, using the default progress policy.
+    pub fn labeled(label: impl Into<String>) -> Self {
+        CampaignOptions {
+            label: label.into(),
+            quiet: false,
+        }
+    }
+
+    /// Options with progress reporting disabled.
+    pub fn quiet() -> Self {
+        CampaignOptions {
+            label: "campaign".into(),
+            quiet: true,
+        }
+    }
+}
+
+/// What a campaign did, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Total jobs in the plan.
+    pub jobs: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Jobs actually executed.
+    pub executed: usize,
+    /// Wall-clock duration of the whole campaign.
+    pub wall: Duration,
+}
+
+/// Runs a campaign on `pool`, optionally backed by `cache`, and returns the
+/// results **in plan order** plus a report.
+///
+/// Cache misses and decode failures re-run the job; fresh results are
+/// written back. Cache write errors are reported to stderr but never fail
+/// the campaign.
+pub fn run_campaign<T: Send + 'static>(
+    pool: &ThreadPool,
+    cache: Option<(&ResultCache, &dyn ResultCodec<T>)>,
+    jobs: Vec<JobSpec<T>>,
+    options: &CampaignOptions,
+) -> (Vec<T>, CampaignReport) {
+    let start = Instant::now();
+    let total = jobs.len();
+    let progress = Arc::new(Progress::with_enabled(
+        &options.label,
+        total,
+        !options.quiet && crate::progress::enabled(),
+    ));
+
+    // Phase 1: resolve what the cache already knows.
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+    let mut misses: Vec<(usize, JobSpec<T>)> = Vec::new();
+    let mut cache_hits = 0;
+    for (idx, job) in jobs.into_iter().enumerate() {
+        let cached = cache
+            .as_ref()
+            .and_then(|(store, codec)| store.get(&job.key).and_then(|p| codec.decode(&p)));
+        match cached {
+            Some(value) => {
+                cache_hits += 1;
+                slots.push(Some(value));
+            }
+            None => {
+                slots.push(None);
+                misses.push((idx, job));
+            }
+        }
+    }
+    progress.cache_hits(cache_hits);
+
+    // Phase 2: execute the misses in parallel.
+    let executed = misses.len();
+    let ids: Vec<String> = misses.iter().map(|(_, j)| j.id.clone()).collect();
+    let keys: Vec<String> = misses.iter().map(|(_, j)| j.key.clone()).collect();
+    let plan_indices: Vec<usize> = misses.iter().map(|(idx, _)| *idx).collect();
+    let tasks: Vec<Box<dyn FnOnce() -> (Duration, T) + Send>> = misses
+        .into_iter()
+        .map(|(_, job)| {
+            let progress = Arc::clone(&progress);
+            let work = job.work;
+            Box::new(move || {
+                progress.job_started();
+                let t = Instant::now();
+                let value = work();
+                (t.elapsed(), value)
+            }) as Box<dyn FnOnce() -> (Duration, T) + Send>
+        })
+        .collect();
+    let fresh = pool.run_ordered_observed(tasks, |i, (wall, _)| {
+        progress.job_finished(&ids[i], *wall);
+    });
+
+    // Phase 3: write back and merge in plan order.
+    for (i, (_, value)) in fresh.into_iter().enumerate() {
+        if let Some((store, codec)) = cache.as_ref() {
+            if let Err(err) = store.put(&keys[i], &codec.encode(&value)) {
+                eprintln!(
+                    "[{}] cache write failed for {}: {err}",
+                    options.label, ids[i]
+                );
+            }
+        }
+        slots[plan_indices[i]] = Some(value);
+    }
+    progress.finish(executed);
+
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every plan slot filled"))
+        .collect();
+    let report = CampaignReport {
+        jobs: total,
+        cache_hits,
+        executed,
+        wall: start.elapsed(),
+    };
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct U64Codec;
+    impl ResultCodec<u64> for U64Codec {
+        fn encode(&self, value: &u64) -> String {
+            value.to_string()
+        }
+        fn decode(&self, payload: &str) -> Option<u64> {
+            payload.trim().parse().ok()
+        }
+    }
+
+    fn temp_cache(name: &str) -> ResultCache {
+        let dir =
+            std::env::temp_dir().join(format!("anoc-exec-campaign-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).expect("open temp cache")
+    }
+
+    fn square_jobs(n: u64) -> Vec<JobSpec<u64>> {
+        (0..n)
+            .map(|i| JobSpec::new(format!("sq/{i}"), format!("square v1 n={i}"), move || i * i))
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_in_plan_order() {
+        let pool = ThreadPool::new(6);
+        let jobs: Vec<JobSpec<u64>> = (0..40u64)
+            .map(|i| {
+                JobSpec::new(format!("j{i}"), format!("k{i}"), move || {
+                    std::thread::sleep(Duration::from_micros(40 - i));
+                    i
+                })
+            })
+            .collect();
+        let (results, report) = run_campaign(&pool, None, jobs, &CampaignOptions::quiet());
+        assert_eq!(results, (0..40).collect::<Vec<_>>());
+        assert_eq!(report.jobs, 40);
+        assert_eq!(report.executed, 40);
+        assert_eq!(report.cache_hits, 0);
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits() {
+        let pool = ThreadPool::new(4);
+        let cache = temp_cache("hits");
+        let codec = U64Codec;
+        let (cold, report) = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            square_jobs(12),
+            &CampaignOptions::quiet(),
+        );
+        assert_eq!(report.executed, 12);
+        let (warm, report) = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            square_jobs(12),
+            &CampaignOptions::quiet(),
+        );
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.cache_hits, 12);
+        assert_eq!(cold, warm);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_change_invalidates_only_changed_cells() {
+        let pool = ThreadPool::new(4);
+        let cache = temp_cache("invalidate");
+        let codec = U64Codec;
+        let _ = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            square_jobs(8),
+            &CampaignOptions::quiet(),
+        );
+        // Same plan, but cell 3 now has a different content key (as if its
+        // config changed): exactly one cell re-runs.
+        let jobs: Vec<JobSpec<u64>> = (0..8u64)
+            .map(|i| {
+                let key = if i == 3 {
+                    "square v2 n=3".to_string()
+                } else {
+                    format!("square v1 n={i}")
+                };
+                JobSpec::new(format!("sq/{i}"), key, move || i * i)
+            })
+            .collect();
+        let (_, report) = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            jobs,
+            &CampaignOptions::quiet(),
+        );
+        assert_eq!(report.executed, 1);
+        assert_eq!(report.cache_hits, 7);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn undecodable_payload_forces_rerun() {
+        let pool = ThreadPool::new(2);
+        let cache = temp_cache("stale");
+        cache.put("square v1 n=0", "not a number").expect("put");
+        let codec = U64Codec;
+        let (results, report) = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            square_jobs(1),
+            &CampaignOptions::quiet(),
+        );
+        assert_eq!(results, vec![0]);
+        assert_eq!(report.executed, 1);
+        // The bad entry was replaced by a good one.
+        assert_eq!(cache.get("square v1 n=0").as_deref(), Some("0"));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn parallel_equals_serial_bit_for_bit() {
+        let serial = ThreadPool::new(1);
+        let parallel = ThreadPool::new(8);
+        let (a, _) = run_campaign(&serial, None, square_jobs(32), &CampaignOptions::quiet());
+        let (b, _) = run_campaign(&parallel, None, square_jobs(32), &CampaignOptions::quiet());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Stable content hashing for cache keys.
+//!
+//! `std::hash::DefaultHasher` is explicitly unstable across releases, so the
+//! cache uses FNV-1a (64-bit): trivial, dependency-free and stable forever —
+//! cache files written by one toolchain stay valid under the next.
+
+/// 64-bit FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hashes a string key into the fixed-width hex form used for cache file
+/// names.
+pub fn key_digest(key: &str) -> String {
+    format!("{:016x}", fnv1a64(key.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_stable_and_distinct() {
+        let a = key_digest("fig9 seed=42");
+        assert_eq!(a, key_digest("fig9 seed=42"));
+        assert_ne!(a, key_digest("fig9 seed=43"));
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,47 @@
+//! # anoc-exec
+//!
+//! The parallel experiment-execution engine of the APPROX-NoC workspace.
+//!
+//! Every simulation cell the harness runs is a pure function of its inputs
+//! (`SystemConfig`, mechanism, benchmark, seed — DESIGN.md §6), which makes
+//! figure campaigns embarrassingly parallel. This crate supplies the
+//! machinery, with no dependencies beyond `std`:
+//!
+//! * [`pool`] — a channel-based [`ThreadPool`](pool::ThreadPool) sized from
+//!   `std::thread::available_parallelism`, honouring the `ANOC_THREADS`
+//!   override;
+//! * [`campaign`] — a [`JobSpec`](campaign::JobSpec) planner that executes
+//!   jobs in parallel and merges results deterministically in plan order,
+//!   so parallel output is bit-identical to a serial run;
+//! * [`cache`] — an on-disk, text-format [`ResultCache`](cache::ResultCache)
+//!   keyed by a content hash of the job's canonical key, so warm re-runs
+//!   skip simulation entirely;
+//! * [`progress`] — live queued/running/done + ETA reporting on stderr.
+//!
+//! ## Example
+//!
+//! ```
+//! use anoc_exec::campaign::{run_campaign, CampaignOptions, JobSpec};
+//! use anoc_exec::pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let jobs: Vec<JobSpec<u64>> = (0..16)
+//!     .map(|i| JobSpec::new(format!("square/{i}"), format!("square v1 n={i}"), move || i * i))
+//!     .collect();
+//! let (results, report) = run_campaign(&pool, None, jobs, &CampaignOptions::quiet());
+//! assert_eq!(results[7], 49); // plan order, regardless of completion order
+//! assert_eq!(report.executed, 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod campaign;
+pub mod hash;
+pub mod pool;
+pub mod progress;
+
+pub use cache::ResultCache;
+pub use campaign::{run_campaign, CampaignOptions, CampaignReport, JobSpec, ResultCodec};
+pub use pool::ThreadPool;

@@ -1,0 +1,250 @@
+//! A dependency-free, channel-based thread pool.
+//!
+//! Workers pull boxed jobs off a shared `mpsc` channel (the channel acts as
+//! the work queue, giving natural work-stealing-like load balancing: a free
+//! worker takes the next job regardless of which one stalls). Panics inside
+//! jobs are caught per job and re-thrown from the submitting thread, so a
+//! failing simulation cell surfaces exactly like it would serially.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool executing boxed jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with exactly `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Task>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("anoc-exec-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while receiving, not while running.
+                        let task = {
+                            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match task {
+                            Ok(task) => task(),
+                            Err(_) => break, // all senders dropped: shut down
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Creates a pool sized by [`default_threads`].
+    pub fn with_default_size() -> Self {
+        ThreadPool::new(default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("worker channel closed");
+    }
+
+    /// Runs every job and returns the results **in submission order**,
+    /// regardless of which worker finished first — the property the campaign
+    /// layer relies on for deterministic merges.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws the panic of the first (in submission order) job that
+    /// panicked, after all jobs have finished.
+    pub fn run_ordered<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        self.run_ordered_observed(jobs, |_, _| {})
+    }
+
+    /// [`run_ordered`](Self::run_ordered) with a completion observer:
+    /// `observe(index, &result)` runs on the submitting thread as each
+    /// result arrives (completion order), for progress reporting.
+    pub fn run_ordered_observed<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+        mut observe: impl FnMut(usize, &T),
+    ) -> Vec<T> {
+        let n = jobs.len();
+        let (tx, rx) = channel();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                // A dropped receiver only happens when the submitter is
+                // already unwinding; nothing useful to do with the error.
+                let _ = tx.send((idx, outcome));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panics = Vec::new();
+        for _ in 0..n {
+            let (idx, outcome) = rx.recv().expect("worker died without reporting");
+            match outcome {
+                Ok(value) => {
+                    observe(idx, &value);
+                    slots[idx] = Some(value);
+                }
+                Err(payload) => panics.push((idx, payload)),
+            }
+        }
+        if let Some((_, payload)) = panics.into_iter().min_by_key(|(idx, _)| *idx) {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job reported exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.sender.take(); // close the queue
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The default worker count: the `ANOC_THREADS` environment variable if set
+/// (minimum 1), otherwise `std::thread::available_parallelism`.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("ANOC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = ThreadPool::new(8);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Reverse the natural completion order.
+                    std::thread::sleep(std::time::Duration::from_micros(64 - i as u64));
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = pool.run_ordered(jobs);
+        assert_eq!(results, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_workers_participate() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let jobs: Vec<Box<dyn FnOnce() -> String + Send>> = (0..32)
+            .map(|_| {
+                Box::new(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    std::thread::current().name().unwrap_or("?").to_string()
+                }) as Box<dyn FnOnce() -> String + Send>
+            })
+            .collect();
+        let names: std::collections::BTreeSet<String> =
+            pool.run_ordered(jobs).into_iter().collect();
+        assert!(names.len() > 1, "only one worker ran: {names:?}");
+    }
+
+    #[test]
+    fn observer_sees_every_completion() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..10usize)
+            .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let seen = AtomicUsize::new(0);
+        let results = pool.run_ordered_observed(jobs, |idx, value| {
+            assert_eq!(*value, idx * 2);
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 10);
+        assert_eq!(results.len(), 10);
+    }
+
+    #[test]
+    fn pool_survives_and_reports_job_panics() {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("cell {i} exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run_ordered(jobs)))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("cell 3 exploded"), "{msg}");
+        // The pool is still usable afterwards.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 7usize) as Box<dyn FnOnce() -> usize + Send>];
+        assert_eq!(pool.run_ordered(jobs), vec![7]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn single_thread_pool_is_strictly_serial() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    let inside = counter.fetch_add(1, Ordering::SeqCst);
+                    let v = counter.load(Ordering::SeqCst);
+                    counter.fetch_sub(1, Ordering::SeqCst);
+                    assert_eq!(v - inside, 1, "two jobs ran concurrently");
+                    inside
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        pool.run_ordered(jobs);
+    }
+}

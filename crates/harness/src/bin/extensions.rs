@@ -1,18 +1,16 @@
-//! Extension study: the VAXX engine plugged into three compression families
-//! (frequent-pattern, base-delta, adaptive) — the paper's plug-and-play
-//! claim, demonstrated beyond its own two case studies.
-use anoc_harness::experiments::{extension_study, render_extension};
-use anoc_harness::SystemConfig;
-use anoc_traffic::Benchmark;
+//! Thin alias for `anoc run extensions`: regenerates the extension study (VAXX across compression families).
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(20_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    for b in [Benchmark::Blackscholes, Benchmark::Ssca2, Benchmark::X264] {
-        let results = extension_study(b, &config, 42);
-        println!("{}", render_extension(b, &results));
-    }
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run",
+        "extensions",
+        "--cycles",
+        &cycles,
+    ]));
 }

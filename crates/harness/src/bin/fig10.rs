@@ -1,13 +1,13 @@
-//! Regenerates Figure 10: encoded-word fraction and compression ratio.
-use anoc_harness::experiments::{fig10, render_fig10, BenchmarkMatrix};
-use anoc_harness::SystemConfig;
+//! Thin alias for `anoc run fig10`: regenerates Figure 10: flit reduction breakdown.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(50_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    let matrix = BenchmarkMatrix::run(&config, 42);
-    print!("{}", render_fig10(&fig10(&matrix)));
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig10", "--cycles", &cycles,
+    ]));
 }

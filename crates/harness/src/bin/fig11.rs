@@ -1,13 +1,13 @@
-//! Regenerates Figure 11: injected data flits normalized to baseline.
-use anoc_harness::experiments::{fig11, render_fig11, BenchmarkMatrix};
-use anoc_harness::SystemConfig;
+//! Thin alias for `anoc run fig11`: regenerates Figure 11: dynamic power breakdown.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(50_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    let matrix = BenchmarkMatrix::run(&config, 42);
-    print!("{}", render_fig11(&fig11(&matrix)));
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig11", "--cycles", &cycles,
+    ]));
 }

@@ -1,26 +1,13 @@
-//! Regenerates Figure 12: latency vs injection rate under UR/TR synthetic
-//! traffic with blackscholes/streamcluster data.
-use anoc_harness::experiments::{fig12, render_fig12};
-use anoc_harness::SystemConfig;
-use anoc_traffic::{Benchmark, DestPattern};
+//! Thin alias for `anoc run fig12`: regenerates Figure 12: latency vs injection rate under synthetic traffic.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(20_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    let rates: Vec<f64> = (1..=14).map(|i| i as f64 * 0.05).collect();
-    for (bench, label) in [
-        (Benchmark::Blackscholes, "blackscholes"),
-        (Benchmark::Streamcluster, "streamcluster"),
-    ] {
-        for (pattern, pname) in [
-            (DestPattern::UniformRandom, "UR"),
-            (DestPattern::Transpose, "TR"),
-        ] {
-            let series = fig12(bench, pattern, &rates, &config, 42);
-            print!("{}", render_fig12(&format!("{label} {pname}"), &series));
-        }
-    }
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig12", "--cycles", &cycles,
+    ]));
 }

@@ -1,19 +1,13 @@
-//! Regenerates Figure 13: error-threshold sensitivity (5/10/20%).
-use anoc_harness::experiments::{fig13, render_sensitivity};
-use anoc_harness::SystemConfig;
+//! Thin alias for `anoc run fig13`: regenerates Figure 13: error-threshold sensitivity.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(20_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    let rows = fig13(&config, 42);
-    print!(
-        "{}",
-        render_sensitivity(
-            "Figure 13: Error Threshold Sensitivity (packet latency)",
-            &rows
-        )
-    );
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig13", "--cycles", &cycles,
+    ]));
 }

@@ -1,19 +1,13 @@
-//! Regenerates Figure 14: approximable-packet-ratio sensitivity (25/50/75%).
-use anoc_harness::experiments::{fig14, render_sensitivity};
-use anoc_harness::SystemConfig;
+//! Thin alias for `anoc run fig14`: regenerates Figure 14: approximable-packets-ratio sensitivity.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(20_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    let rows = fig14(&config, 42);
-    print!(
-        "{}",
-        render_sensitivity(
-            "Figure 14: Approximable Packets Ratio Sensitivity (packet latency)",
-            &rows
-        )
-    );
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig14", "--cycles", &cycles,
+    ]));
 }

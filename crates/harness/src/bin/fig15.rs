@@ -1,24 +1,13 @@
-//! Regenerates Figure 15: dynamic power normalized to baseline, plus the
-//! §5.5 encoder area accounting.
-use anoc_harness::experiments::{fig15, render_fig15, BenchmarkMatrix};
-use anoc_harness::{AreaModel, SystemConfig};
+//! Thin alias for `anoc run fig15`: regenerates Figure 15: data quality across mechanisms.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(30_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    let matrix = BenchmarkMatrix::run(&config, 42);
-    print!("{}", render_fig15(&fig15(&matrix)));
-    let area = AreaModel::default();
-    println!("\nSection 5.5 encoder area (45 nm):");
-    println!(
-        "  DI-VAXX encoder: {:.4} mm^2 (paper: 0.0037)",
-        area.di_vaxx_encoder_mm2()
-    );
-    println!(
-        "  FP-VAXX encoder: {:.4} mm^2 (paper: 0.0029)",
-        area.fp_vaxx_encoder_mm2()
-    );
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig15", "--cycles", &cycles,
+    ]));
 }

@@ -1,13 +1,13 @@
-//! Regenerates Figure 16: application output accuracy and normalized
-//! performance across data error budgets.
-use anoc_harness::experiments::{fig16, render_fig16};
-use anoc_harness::SystemConfig;
+//! Thin alias for `anoc run fig16`: regenerates Figure 16: accuracy and performance across error budgets.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(15_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    print!("{}", render_fig16(&fig16(&config, 42)));
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig16", "--cycles", &cycles,
+    ]));
 }

@@ -1,22 +1,13 @@
-//! Regenerates Figure 17: precise vs approximate bodytrack output frames
-//! (written as PGM images) and the output-vector difference.
-use anoc_harness::experiments::fig17;
+//! Thin alias for `anoc run fig17`: regenerates Figure 17, the precise vs
+//! approximate bodytrack output frames (written as PGM images) and the
+//! output-vector difference. Takes one optional argument, the output
+//! directory (default `target/fig17`).
 
 fn main() {
-    let out_dir = std::env::args()
+    let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "target/fig17".into());
-    let r = fig17(42);
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
-    let precise = format!("{out_dir}/bodytrack_precise.pgm");
-    let approx = format!("{out_dir}/bodytrack_approx.pgm");
-    std::fs::write(&precise, &r.precise_pgm).expect("write precise frame");
-    std::fs::write(&approx, &r.approx_pgm).expect("write approximate frame");
-    println!("Figure 17: bodytrack precise vs approximate output");
-    println!(
-        "  output vector difference: {:.2}% (paper: 2.4%)",
-        r.vector_difference * 100.0
-    );
-    println!("  precise frame:     {precise}");
-    println!("  approximate frame: {approx}");
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig17", "--out", &out,
+    ]));
 }

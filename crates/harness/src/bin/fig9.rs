@@ -1,13 +1,13 @@
-//! Regenerates Figure 9: average packet latency breakdown + data quality.
-use anoc_harness::experiments::{fig9, render_fig9, BenchmarkMatrix};
-use anoc_harness::SystemConfig;
+//! Thin alias for `anoc run fig9`: regenerates Figure 9: average packet latency breakdown + data quality.
+//! Takes one optional argument, the measured simulation cycles.
 
 fn main() {
     let cycles = std::env::args()
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(50_000);
-    let config = SystemConfig::paper().with_sim_cycles(cycles);
-    let matrix = BenchmarkMatrix::run(&config, 42);
-    print!("{}", render_fig9(&fig9(&matrix)));
+    let cycles = cycles.to_string();
+    std::process::exit(anoc_harness::cli::run_args(&[
+        "run", "fig9", "--cycles", &cycles,
+    ]));
 }

@@ -1,10 +1,6 @@
-//! Prints Table 1: the simulated system configuration.
-use anoc_harness::SystemConfig;
+//! Thin alias for `anoc run table1`: prints the simulated system
+//! configuration (Table 1).
 
 fn main() {
-    let config = SystemConfig::paper();
-    println!("Table 1: APPROX-NoC Simulation Configuration");
-    for (k, v) in config.table1_rows() {
-        println!("{k:<34} {v}");
-    }
+    std::process::exit(anoc_harness::cli::run_args(&["run", "table1"]));
 }

@@ -1,0 +1,238 @@
+//! The harness side of the [`anoc_exec`] campaign engine: content keys for
+//! simulation cells, the [`RunResult`] cache codec and the process-wide
+//! execution context.
+//!
+//! Every simulation cell is a pure function of its inputs (DESIGN.md §6), so
+//! a cell's cache key is the canonical rendering of exactly those inputs:
+//! the full [`SystemConfig`], the mechanism, the workload and the seed,
+//! prefixed with a campaign kind that distinguishes differently-driven cells
+//! (benchmark traffic vs synthetic sweeps vs extension codecs). Cells that
+//! are the same computation share a key across figures — a `fig13` rerun
+//! reuses the matrix cells `fig9` already paid for.
+
+use std::sync::OnceLock;
+
+use anoc_exec::{
+    run_campaign, CampaignOptions, CampaignReport, JobSpec, ResultCache, ResultCodec, ThreadPool,
+};
+use anoc_traffic::{Benchmark, DestPattern};
+
+use crate::config::{Mechanism, SystemConfig};
+use crate::persist::{decode_run_result, encode_run_result};
+use crate::runner::RunResult;
+
+/// The [`ResultCodec`] storing [`RunResult`]s in the campaign cache.
+pub struct RunResultCodec;
+
+impl ResultCodec<RunResult> for RunResultCodec {
+    fn encode(&self, value: &RunResult) -> String {
+        encode_run_result(value)
+    }
+    fn decode(&self, payload: &str) -> Option<RunResult> {
+        decode_run_result(payload)
+    }
+}
+
+/// The process-wide execution context: one thread pool and (optionally) one
+/// result cache shared by every campaign in the process.
+pub struct ExecContext {
+    pool: ThreadPool,
+    cache: Option<ResultCache>,
+}
+
+static CONTEXT: OnceLock<ExecContext> = OnceLock::new();
+
+/// Installs the process-wide context. Returns `false` if a context was
+/// already installed (first caller wins); call before any experiment runs.
+pub fn configure(threads: Option<usize>, cache: Option<ResultCache>) -> bool {
+    CONTEXT
+        .set(ExecContext {
+            pool: threads
+                .map(ThreadPool::new)
+                .unwrap_or_else(ThreadPool::with_default_size),
+            cache,
+        })
+        .is_ok()
+}
+
+/// The installed context, or a default one (default-sized pool, no cache —
+/// the CLI opts into caching explicitly, so library users and tests always
+/// simulate for real unless they configure otherwise).
+pub fn context() -> &'static ExecContext {
+    CONTEXT.get_or_init(|| ExecContext {
+        pool: ThreadPool::with_default_size(),
+        cache: None,
+    })
+}
+
+impl ExecContext {
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The result cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Runs a campaign plan, returning results in plan order.
+    pub fn run(&self, label: &str, jobs: Vec<JobSpec<RunResult>>) -> Vec<RunResult> {
+        self.run_reported(label, jobs).0
+    }
+
+    /// [`run`](Self::run) plus the campaign report (for CLI summaries and
+    /// the cache tests).
+    pub fn run_reported(
+        &self,
+        label: &str,
+        jobs: Vec<JobSpec<RunResult>>,
+    ) -> (Vec<RunResult>, CampaignReport) {
+        let binding = self
+            .cache
+            .as_ref()
+            .map(|c| (c, &RunResultCodec as &dyn ResultCodec<RunResult>));
+        run_campaign(&self.pool, binding, jobs, &CampaignOptions::labeled(label))
+    }
+}
+
+/// The canonical single-line rendering of a [`SystemConfig`]: every field
+/// that influences a simulation, floats by their exact bits.
+pub fn config_key(c: &SystemConfig) -> String {
+    let n = &c.noc;
+    format!(
+        "noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} thr={} ar={:016x} warm={} sim={} drain={}",
+        n.width,
+        n.height,
+        n.concentration,
+        n.vcs,
+        n.vc_buffer,
+        n.flit_bits,
+        n.hide_compression,
+        n.va_overlap,
+        n.notify_in_band,
+        c.threshold_percent,
+        c.approx_ratio.to_bits(),
+        c.warmup_cycles,
+        c.sim_cycles,
+        c.drain_cycles,
+    )
+}
+
+/// The content key of one simulation cell.
+///
+/// `kind` names the cell computation (`bench`, `fig12 …`, `ext`); equal keys
+/// must mean equal results, so anything that changes what the cell computes
+/// belongs in here.
+pub fn cell_key(
+    kind: &str,
+    config: &SystemConfig,
+    mechanism: &str,
+    workload: &str,
+    seed: u64,
+) -> String {
+    format!(
+        "anoc-cell v1 kind={kind} {} mech={mechanism} work={workload} seed={seed}",
+        config_key(config)
+    )
+}
+
+/// A short stable tag for a synthetic destination pattern, for cell keys.
+pub fn pattern_tag(p: DestPattern) -> String {
+    match p {
+        DestPattern::UniformRandom => "UR".into(),
+        DestPattern::Transpose => "TR".into(),
+        DestPattern::BitComplement => "BC".into(),
+        DestPattern::BitReverse => "BR".into(),
+        DestPattern::Hotspot { node, percent } => format!("HS{node}p{percent}"),
+        DestPattern::Tornado => "TO".into(),
+        DestPattern::Neighbor => "NB".into(),
+        DestPattern::Shuffle => "SH".into(),
+    }
+}
+
+/// Builds the job for one standard benchmark-traffic cell — the unit behind
+/// the matrix figures, the sensitivity sweeps and the Figure 16 anchors. All
+/// of them share the `bench` kind, so identical cells are computed (and
+/// cached) once regardless of which figure asks first.
+pub fn benchmark_job(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+) -> JobSpec<RunResult> {
+    let id = format!("{}/{}/s{seed}", benchmark.name(), mechanism.name());
+    let key = cell_key("bench", config, mechanism.name(), benchmark.name(), seed);
+    let config = config.clone();
+    JobSpec::new(id, key, move || {
+        crate::runner::run_benchmark(benchmark, mechanism, &config, seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_key_distinguishes_every_knob() {
+        let base = SystemConfig::paper();
+        let variants = [
+            base.clone().with_sim_cycles(1_000),
+            base.clone().with_threshold(5),
+            base.clone().with_approx_ratio(0.5),
+            SystemConfig::full_system(),
+        ];
+        let k0 = config_key(&base);
+        for v in &variants {
+            assert_ne!(config_key(v), k0, "{v:?}");
+        }
+        assert_eq!(config_key(&base), config_key(&SystemConfig::paper()));
+    }
+
+    #[test]
+    fn cell_key_separates_kind_mechanism_workload_seed() {
+        let c = SystemConfig::paper();
+        let k = |kind: &str, m: &str, w: &str, s: u64| cell_key(kind, &c, m, w, s);
+        let base = k("bench", "FP-VAXX", "ssca2", 42);
+        assert_eq!(base, k("bench", "FP-VAXX", "ssca2", 42));
+        assert_ne!(base, k("ext", "FP-VAXX", "ssca2", 42));
+        assert_ne!(base, k("bench", "FP-COMP", "ssca2", 42));
+        assert_ne!(base, k("bench", "FP-VAXX", "x264", 42));
+        assert_ne!(base, k("bench", "FP-VAXX", "ssca2", 43));
+    }
+
+    #[test]
+    fn pattern_tags_are_distinct() {
+        let tags: std::collections::BTreeSet<String> = [
+            DestPattern::UniformRandom,
+            DestPattern::Transpose,
+            DestPattern::BitComplement,
+            DestPattern::BitReverse,
+            DestPattern::Hotspot {
+                node: anoc_core::NodeId(3),
+                percent: 20,
+            },
+            DestPattern::Tornado,
+        ]
+        .into_iter()
+        .map(pattern_tag)
+        .collect();
+        assert_eq!(tags.len(), 6);
+    }
+
+    #[test]
+    fn default_context_has_no_cache_and_runs_jobs() {
+        let ctx = context();
+        assert!(ctx.threads() >= 1);
+        let cfg = SystemConfig::paper().with_sim_cycles(1_000);
+        let jobs = vec![
+            benchmark_job(Benchmark::X264, Mechanism::Baseline, &cfg, 1),
+            benchmark_job(Benchmark::X264, Mechanism::FpComp, &cfg, 1),
+        ];
+        let (results, report) = ctx.run_reported("test", jobs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(report.executed + report.cache_hits, 2);
+        assert_eq!(results[0].mechanism, Mechanism::Baseline);
+        assert_eq!(results[1].mechanism, Mechanism::FpComp);
+    }
+}

@@ -1,0 +1,535 @@
+//! The `anoc` command-line interface.
+//!
+//! One binary drives the whole evaluation:
+//!
+//! ```sh
+//! anoc run fig9                    # one figure, parallel + cached
+//! anoc run all --cycles 20000      # every table and figure
+//! anoc run ablations --no-cache    # figs 13/14 + extension study, uncached
+//! anoc run fig12 --csv             # CSV instead of the text table
+//! anoc run fig9 --seed 7 --threads 4
+//! anoc cache stats                 # entries / bytes / location
+//! anoc cache clear
+//! anoc capture --out trace.txt     # persist a benchmark trace
+//! anoc replay --out trace.txt      # simulate from a saved trace
+//! ```
+//!
+//! The historical per-figure commands (`anoc fig9`, `anoc table1`, …) keep
+//! working as aliases for `anoc run <target>`, and the per-figure binaries
+//! (`fig9` … `fig17`, `table1`, `extensions`) are thin wrappers over this
+//! module. Campaigns run on the process-wide [`crate::campaign::ExecContext`]:
+//! parallel across cells, answering repeated cells from the on-disk result
+//! cache unless `--no-cache` is given.
+
+use anoc_exec::ResultCache;
+use anoc_traffic::{Benchmark, DestPattern};
+
+use crate::campaign;
+use crate::config::SystemConfig;
+use crate::experiments::{self, BenchmarkMatrix};
+use crate::power::AreaModel;
+
+const USAGE: &str = "usage: anoc run <TARGET> [OPTIONS]
+       anoc cache <stats|clear>
+       anoc capture [OPTIONS]
+       anoc replay [OPTIONS]
+       anoc <TARGET> [OPTIONS]          (alias for `anoc run <TARGET>`)
+
+targets:
+  table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 extensions
+  all         every table and figure in order
+  ablations   the sensitivity studies: fig13, fig14 and the extension study
+
+options:
+  --cycles N    measured simulation cycles (default varies per target)
+  --seed N      traffic/data RNG seed (default 42)
+  --threads N   worker threads (default: ANOC_THREADS or all cores)
+  --no-cache    always simulate; do not read or write the result cache
+  --csv         emit CSV instead of a text table
+  --out PATH    output path (fig17 image directory, capture/replay trace)";
+
+/// All figure/table targets of `anoc run`, in `all` order.
+const TARGETS: [&str; 11] = [
+    "table1",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "extensions",
+];
+
+/// The sensitivity/ablation subset behind `anoc run ablations`.
+const ABLATIONS: [&str; 3] = ["fig13", "fig14", "extensions"];
+
+#[derive(Debug, Clone)]
+struct Opts {
+    cycles: u64,
+    seed: u64,
+    threads: Option<usize>,
+    no_cache: bool,
+    csv: bool,
+    out: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            cycles: 0,
+            seed: 42,
+            threads: None,
+            no_cache: false,
+            csv: false,
+            out: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Command {
+    Run { target: String, opts: Opts },
+    CacheStats,
+    CacheClear,
+    Capture { opts: Opts },
+    Replay { opts: Opts },
+}
+
+/// Entry point for the `anoc` binary: parses `std::env::args`, runs, and
+/// returns the process exit code (0 success, 1 runtime error, 2 usage).
+pub fn run() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    run_argv(&argv)
+}
+
+/// Entry point for the per-figure alias binaries: runs with an explicit
+/// argument list and returns the process exit code.
+pub fn run_args(args: &[&str]) -> i32 {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run_argv(&argv)
+}
+
+fn run_argv(argv: &[String]) -> i32 {
+    match parse(argv) {
+        Ok(cmd) => match execute(cmd) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let first = it.next().ok_or("missing command")?;
+    let (kind, target) = match first {
+        "run" => {
+            let t = it.next().ok_or("`run` needs a target")?;
+            ("run", t.to_string())
+        }
+        "cache" => {
+            let action = it.next().ok_or("`cache` needs `stats` or `clear`")?;
+            return match (action, it.next()) {
+                ("stats", None) => Ok(Command::CacheStats),
+                ("clear", None) => Ok(Command::CacheClear),
+                (other, None) => Err(format!("unknown cache action `{other}`")),
+                _ => Err("`cache` takes exactly one action".into()),
+            };
+        }
+        "capture" => ("capture", String::new()),
+        "replay" => ("replay", String::new()),
+        t if TARGETS.contains(&t) || t == "all" || t == "ablations" => ("run", t.to_string()),
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    if kind == "run"
+        && !(TARGETS.contains(&target.as_str()) || target == "all" || target == "ablations")
+    {
+        return Err(format!("unknown target `{target}`"));
+    }
+
+    let mut opts = Opts::default();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(format!("{flag} needs a number"))
+        };
+        match a {
+            "--cycles" => opts.cycles = num("--cycles")?,
+            "--seed" => opts.seed = num("--seed")?,
+            "--threads" => opts.threads = Some(num("--threads")?.max(1) as usize),
+            "--no-cache" => opts.no_cache = true,
+            "--csv" => opts.csv = true,
+            "--out" => opts.out = Some(it.next().ok_or("--out needs a path")?.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(match kind {
+        "run" => Command::Run { target, opts },
+        "capture" => Command::Capture { opts },
+        _ => Command::Replay { opts },
+    })
+}
+
+/// Installs the process-wide execution context from the CLI options.
+fn install_context(opts: &Opts) -> Result<(), String> {
+    let cache = if opts.no_cache {
+        None
+    } else {
+        Some(
+            ResultCache::open_default()
+                .map_err(|e| format!("cannot open result cache: {e} (try --no-cache)"))?,
+        )
+    };
+    campaign::configure(opts.threads, cache);
+    Ok(())
+}
+
+/// The configuration for one target: its default cycle budget unless
+/// `--cycles` overrode it, with the CLI seed threaded through.
+fn config(opts: &Opts, default_cycles: u64) -> SystemConfig {
+    let cycles = if opts.cycles == 0 {
+        default_cycles
+    } else {
+        opts.cycles
+    };
+    SystemConfig::paper()
+        .with_sim_cycles(cycles)
+        .with_seed(opts.seed)
+}
+
+fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Run { target, opts } => {
+            install_context(&opts)?;
+            match target.as_str() {
+                "all" => {
+                    for t in TARGETS {
+                        println!("==== {t} ====");
+                        run_target(t, &opts)?;
+                    }
+                    Ok(())
+                }
+                "ablations" => {
+                    for t in ABLATIONS {
+                        println!("==== {t} ====");
+                        run_target(t, &opts)?;
+                    }
+                    Ok(())
+                }
+                t => run_target(t, &opts),
+            }
+        }
+        Command::CacheStats => {
+            let cache = ResultCache::open_default().map_err(|e| e.to_string())?;
+            println!(
+                "result cache: {} entries, {} bytes, at {}",
+                cache.len(),
+                cache.size_bytes(),
+                cache.dir().display()
+            );
+            Ok(())
+        }
+        Command::CacheClear => {
+            let cache = ResultCache::open_default().map_err(|e| e.to_string())?;
+            let removed = cache.clear().map_err(|e| e.to_string())?;
+            println!(
+                "cleared {removed} cache entries from {}",
+                cache.dir().display()
+            );
+            Ok(())
+        }
+        Command::Capture { opts } => capture(&opts),
+        Command::Replay { opts } => replay(&opts),
+    }
+}
+
+fn run_target(target: &str, opts: &Opts) -> Result<(), String> {
+    match target {
+        "table1" => {
+            println!("Table 1: APPROX-NoC Simulation Configuration");
+            for (k, v) in config(opts, 50_000).table1_rows() {
+                println!("{k:<34} {v}");
+            }
+            Ok(())
+        }
+        "fig9" | "fig10" | "fig11" | "fig15" => matrix_figure(target, opts),
+        "fig12" => fig12(opts),
+        "fig13" => {
+            let cfg = config(opts, 15_000);
+            let rows = experiments::fig13(&cfg, cfg.seed);
+            if opts.csv {
+                print!("{}", experiments::sensitivity_csv(&rows));
+            } else {
+                print!(
+                    "{}",
+                    experiments::render_sensitivity(
+                        "Figure 13: Error Threshold Sensitivity",
+                        &rows
+                    )
+                );
+            }
+            Ok(())
+        }
+        "fig14" => {
+            let cfg = config(opts, 15_000);
+            let rows = experiments::fig14(&cfg, cfg.seed);
+            if opts.csv {
+                print!("{}", experiments::sensitivity_csv(&rows));
+            } else {
+                print!(
+                    "{}",
+                    experiments::render_sensitivity(
+                        "Figure 14: Approximable Packets Ratio Sensitivity",
+                        &rows
+                    )
+                );
+            }
+            Ok(())
+        }
+        "fig16" => {
+            let cfg = config(opts, 15_000);
+            let rows = experiments::fig16(&cfg, cfg.seed);
+            if opts.csv {
+                print!("{}", experiments::fig16_csv(&rows));
+            } else {
+                print!("{}", experiments::render_fig16(&rows));
+            }
+            Ok(())
+        }
+        "fig17" => fig17(opts),
+        "extensions" => {
+            let cfg = config(opts, 20_000);
+            for b in [Benchmark::Blackscholes, Benchmark::Ssca2, Benchmark::X264] {
+                let results = experiments::extension_study(b, &cfg, cfg.seed);
+                println!("{}", experiments::render_extension(b, &results));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown target `{other}`")),
+    }
+}
+
+fn matrix_figure(target: &str, opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts, 50_000);
+    let matrix = BenchmarkMatrix::run(&cfg, cfg.seed);
+    match (target, opts.csv) {
+        ("fig9", false) => print!("{}", experiments::render_fig9(&experiments::fig9(&matrix))),
+        ("fig9", true) => print!("{}", experiments::fig9_csv(&experiments::fig9(&matrix))),
+        ("fig10", false) => print!(
+            "{}",
+            experiments::render_fig10(&experiments::fig10(&matrix))
+        ),
+        ("fig10", true) => print!("{}", experiments::fig10_csv(&experiments::fig10(&matrix))),
+        ("fig11", false) => print!(
+            "{}",
+            experiments::render_fig11(&experiments::fig11(&matrix))
+        ),
+        ("fig11", true) => print!("{}", experiments::fig11_csv(&experiments::fig11(&matrix))),
+        ("fig15", false) => {
+            print!(
+                "{}",
+                experiments::render_fig15(&experiments::fig15(&matrix))
+            );
+            let area = AreaModel::default();
+            println!(
+                "\nSection 5.5 area: DI-VAXX {:.4} mm^2, FP-VAXX {:.4} mm^2",
+                area.di_vaxx_encoder_mm2(),
+                area.fp_vaxx_encoder_mm2()
+            );
+        }
+        ("fig15", true) => print!("{}", experiments::fig15_csv(&experiments::fig15(&matrix))),
+        _ => unreachable!("matrix_figure called with {target}"),
+    }
+    Ok(())
+}
+
+fn fig12(opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts, 15_000);
+    let rates: Vec<f64> = (1..=14).map(|i| i as f64 * 0.05).collect();
+    for (bench, label) in [
+        (Benchmark::Blackscholes, "blackscholes"),
+        (Benchmark::Streamcluster, "streamcluster"),
+    ] {
+        for (pattern, pname) in [
+            (DestPattern::UniformRandom, "UR"),
+            (DestPattern::Transpose, "TR"),
+        ] {
+            let series = experiments::fig12(bench, pattern, &rates, &cfg, cfg.seed);
+            let panel = format!("{label} {pname}");
+            if opts.csv {
+                print!("{}", experiments::fig12_csv(&panel, &series));
+            } else {
+                print!("{}", experiments::render_fig12(&panel, &series));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn fig17(opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts, 50_000);
+    let out = opts.out.clone().unwrap_or_else(|| "target/fig17".into());
+    let r = experiments::fig17(cfg.seed);
+    std::fs::create_dir_all(&out)
+        .map_err(|e| format!("cannot create output directory {out}: {e}"))?;
+    let precise = format!("{out}/bodytrack_precise.pgm");
+    let approx = format!("{out}/bodytrack_approx.pgm");
+    std::fs::write(&precise, &r.precise_pgm).map_err(|e| format!("cannot write {precise}: {e}"))?;
+    std::fs::write(&approx, &r.approx_pgm).map_err(|e| format!("cannot write {approx}: {e}"))?;
+    println!(
+        "Figure 17: vector difference {:.4}% (paper: 2.4%)\n  {precise}\n  {approx}",
+        r.vector_difference * 100.0
+    );
+    Ok(())
+}
+
+fn capture(opts: &Opts) -> Result<(), String> {
+    use anoc_traffic::{BenchmarkTraffic, Trace};
+    let cfg = config(opts, 10_000);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "target/trace.txt".into());
+    let mut source = BenchmarkTraffic::new(
+        Benchmark::Ssca2,
+        cfg.noc.num_nodes(),
+        cfg.approx_ratio,
+        cfg.seed,
+    );
+    let trace = Trace::capture(&mut source, cfg.warmup_cycles + cfg.sim_cycles);
+    trace
+        .save(&out)
+        .map_err(|e| format!("cannot write trace {out}: {e}"))?;
+    println!(
+        "captured {} injections over {} cycles into {out}",
+        trace.len(),
+        cfg.warmup_cycles + cfg.sim_cycles,
+    );
+    Ok(())
+}
+
+fn replay(opts: &Opts) -> Result<(), String> {
+    use crate::config::Mechanism;
+    use crate::runner::run_with_source;
+    use anoc_traffic::Trace;
+    let cfg = config(opts, 10_000);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "target/trace.txt".into());
+    let trace = Trace::load(&out).map_err(|e| format!("cannot read trace {out}: {e}"))?;
+    println!("replaying {} injections from {out}:", trace.len());
+    for m in Mechanism::ALL {
+        let mut replay = trace.replay();
+        let r = run_with_source(&mut replay, m, &cfg);
+        println!(
+            "  {:<9} latency {:>8.2}  p99 {:>5}  norm_flits {:.3}  quality {:.4}",
+            m.name(),
+            r.avg_packet_latency(),
+            r.latency_percentile(99.0),
+            r.stats.normalized_data_flits(),
+            r.data_quality()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<Command, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cmd = parse_strs(&[
+            "run",
+            "fig9",
+            "--cycles",
+            "2000",
+            "--seed",
+            "7",
+            "--threads",
+            "3",
+            "--no-cache",
+            "--csv",
+        ])
+        .expect("parse");
+        match cmd {
+            Command::Run { target, opts } => {
+                assert_eq!(target, "fig9");
+                assert_eq!(opts.cycles, 2000);
+                assert_eq!(opts.seed, 7);
+                assert_eq!(opts.threads, Some(3));
+                assert!(opts.no_cache);
+                assert!(opts.csv);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_figure_commands_alias_run() {
+        for t in TARGETS {
+            match parse_strs(&[t]).expect("parse") {
+                Command::Run { target, .. } => assert_eq!(target, t),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_subcommands_parse() {
+        assert!(matches!(
+            parse_strs(&["cache", "stats"]),
+            Ok(Command::CacheStats)
+        ));
+        assert!(matches!(
+            parse_strs(&["cache", "clear"]),
+            Ok(Command::CacheClear)
+        ));
+        assert!(parse_strs(&["cache"]).is_err());
+        assert!(parse_strs(&["cache", "nuke"]).is_err());
+    }
+
+    #[test]
+    fn bad_input_is_a_usage_error() {
+        assert!(parse_strs(&[]).is_err());
+        assert!(parse_strs(&["run"]).is_err());
+        assert!(parse_strs(&["run", "fig99"]).is_err());
+        assert!(parse_strs(&["fig9", "--cycles"]).is_err());
+        assert!(parse_strs(&["fig9", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn run_argv_reports_usage_exit_code() {
+        assert_eq!(run_args(&["definitely-not-a-command"]), 2);
+    }
+
+    #[test]
+    fn seed_and_cycles_thread_into_config() {
+        let opts = Opts {
+            cycles: 1234,
+            seed: 9,
+            ..Opts::default()
+        };
+        let cfg = config(&opts, 50_000);
+        assert_eq!(cfg.sim_cycles, 1234);
+        assert_eq!(cfg.seed, 9);
+        let default_cfg = config(&Opts::default(), 15_000);
+        assert_eq!(default_cfg.sim_cycles, 15_000);
+        assert_eq!(default_cfg.seed, 42);
+    }
+}

@@ -46,6 +46,24 @@ impl Mechanism {
         }
     }
 
+    /// The inverse of [`name`](Self::name) over every mechanism the harness
+    /// knows, including the extension-study customs — the hook the result
+    /// cache uses to reconstruct a mechanism from its stored name.
+    pub fn from_name(name: &str) -> Option<Mechanism> {
+        Some(match name {
+            "Baseline" => Mechanism::Baseline,
+            "DI-COMP" => Mechanism::DiComp,
+            "DI-VAXX" => Mechanism::DiVaxx,
+            "FP-COMP" => Mechanism::FpComp,
+            "FP-VAXX" => Mechanism::FpVaxx,
+            "BD-COMP" => Mechanism::Custom("BD-COMP"),
+            "BD-VAXX" => Mechanism::Custom("BD-VAXX"),
+            "FP-adaptive" => Mechanism::Custom("FP-adaptive"),
+            "FP-VAXX-win" => Mechanism::Custom("FP-VAXX-win"),
+            _ => return None,
+        })
+    }
+
     /// Whether this mechanism performs value approximation.
     pub fn is_vaxx(&self) -> bool {
         matches!(self, Mechanism::DiVaxx | Mechanism::FpVaxx)
@@ -116,6 +134,8 @@ pub struct SystemConfig {
     pub sim_cycles: u64,
     /// Additional cycles allowed for draining in-flight packets.
     pub drain_cycles: u64,
+    /// Traffic/data RNG seed used when an experiment does not override it.
+    pub seed: u64,
 }
 
 impl SystemConfig {
@@ -128,6 +148,7 @@ impl SystemConfig {
             warmup_cycles: 5_000,
             sim_cycles: 50_000,
             drain_cycles: 50_000,
+            seed: 42,
         }
     }
 
@@ -159,6 +180,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_approx_ratio(mut self, ratio: f64) -> Self {
         self.approx_ratio = ratio;
+        self
+    }
+
+    /// Overrides the default RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 

@@ -6,8 +6,10 @@
 //! is a reimplemented simulator driven by modelled traffic); EXPERIMENTS.md
 //! records the shape comparison.
 
+use anoc_exec::JobSpec;
 use anoc_traffic::{Benchmark, DataPool, DestPattern, SyntheticTraffic};
 
+use crate::campaign::{benchmark_job, cell_key, context, pattern_tag};
 use crate::config::{Mechanism, SystemConfig};
 use crate::power::EnergyModel;
 pub use crate::runner::{run_benchmark, run_with_source, RunResult};
@@ -21,17 +23,22 @@ pub struct BenchmarkMatrix {
 }
 
 impl BenchmarkMatrix {
-    /// Runs all 8 benchmarks × 5 mechanisms.
+    /// Runs all 8 benchmarks × 5 mechanisms as one parallel campaign;
+    /// results are merged in plan order, bit-identical to the serial loop
+    /// this replaces.
     pub fn run(config: &SystemConfig, seed: u64) -> Self {
+        let jobs = Benchmark::ALL
+            .iter()
+            .flat_map(|b| {
+                Mechanism::ALL
+                    .iter()
+                    .map(|m| benchmark_job(*b, *m, config, seed))
+            })
+            .collect();
+        let mut results = context().run("matrix", jobs).into_iter();
         let cells = Benchmark::ALL
             .iter()
-            .map(|b| {
-                let runs = Mechanism::ALL
-                    .iter()
-                    .map(|m| run_benchmark(*b, *m, config, seed))
-                    .collect();
-                (*b, runs)
-            })
+            .map(|b| (*b, results.by_ref().take(Mechanism::ALL.len()).collect()))
             .collect();
         BenchmarkMatrix { cells }
     }
@@ -244,25 +251,59 @@ pub fn fig12(
 ) -> Vec<Fig12Series> {
     let latency_cap = 120.0;
     let pool = DataPool::from_benchmark(benchmark, 512, seed);
+    // Plan every (mechanism, rate) cell up front; the serial loop stopped a
+    // mechanism's sweep at its first over-cap latency, so reproduce that by
+    // truncating each series after the fact. Cells past the knee are wasted
+    // work but run in parallel, so the wall clock still wins.
+    let jobs = Mechanism::ALL
+        .iter()
+        .flat_map(|m| {
+            rates.iter().map(|&rate| {
+                let id = format!(
+                    "{}/{}/{}@{rate:.3}",
+                    benchmark.name(),
+                    pattern_tag(pattern),
+                    m.name()
+                );
+                let work = format!(
+                    "fig12 bench={} pat={} rate={:016x} dr=3fd0000000000000 pool=512",
+                    benchmark.name(),
+                    pattern_tag(pattern),
+                    rate.to_bits(),
+                );
+                let key = cell_key("synth", config, m.name(), &work, seed);
+                let (m, config, pool) = (*m, config.clone(), pool.clone());
+                JobSpec::new(id, key, move || {
+                    let mut source = SyntheticTraffic::new(
+                        pattern,
+                        config.noc.num_nodes(),
+                        pool,
+                        rate,
+                        0.25,
+                        config.approx_ratio,
+                        seed,
+                    );
+                    run_with_source(&mut source, m, &config)
+                })
+            })
+        })
+        .collect();
+    let mut results = context().run("fig12", jobs).into_iter();
     Mechanism::ALL
         .iter()
         .map(|m| {
             let mut points = Vec::new();
             for &rate in rates {
-                let mut source = SyntheticTraffic::new(
-                    pattern,
-                    config.noc.num_nodes(),
-                    pool.clone(),
-                    rate,
-                    0.25,
-                    config.approx_ratio,
-                    seed,
-                );
-                let r = run_with_source(&mut source, *m, config);
-                let lat = r.avg_packet_latency();
-                points.push((rate, lat));
-                if lat > latency_cap {
-                    break;
+                let lat = results
+                    .next()
+                    .expect("one result per cell")
+                    .avg_packet_latency();
+                if points
+                    .last()
+                    .map(|(_, l)| *l <= latency_cap)
+                    .unwrap_or(true)
+                {
+                    points.push((rate, lat));
                 }
             }
             Fig12Series {
@@ -333,19 +374,29 @@ pub fn sensitivity_sweep(
     settings: &[u32],
     apply: impl Fn(SystemConfig, u32) -> SystemConfig,
 ) -> Vec<SensitivityRow> {
+    const FAMILIES: [(&str, Mechanism, Mechanism); 2] = [
+        ("DI-based", Mechanism::DiComp, Mechanism::DiVaxx),
+        ("FP-based", Mechanism::FpComp, Mechanism::FpVaxx),
+    ];
+    // One plan: per (benchmark, family) the compression anchor cell followed
+    // by one VAXX cell per swept setting.
+    let mut jobs = Vec::new();
+    for &b in benchmarks {
+        for (_, comp, vaxx) in FAMILIES {
+            jobs.push(benchmark_job(b, comp, config, seed));
+            for &s in settings {
+                jobs.push(benchmark_job(b, vaxx, &apply(config.clone(), s), seed));
+            }
+        }
+    }
+    let mut results = context().run("sensitivity", jobs).into_iter();
     let mut rows = Vec::new();
     for &b in benchmarks {
-        for (family, comp, vaxx) in [
-            ("DI-based", Mechanism::DiComp, Mechanism::DiVaxx),
-            ("FP-based", Mechanism::FpComp, Mechanism::FpVaxx),
-        ] {
-            let comp_lat = run_benchmark(b, comp, config, seed).avg_packet_latency();
+        for (family, _, _) in FAMILIES {
+            let comp_lat = results.next().expect("anchor cell").avg_packet_latency();
             let vaxx_latencies = settings
                 .iter()
-                .map(|s| {
-                    let cfg = apply(config.clone(), *s);
-                    (*s, run_benchmark(b, vaxx, &cfg, seed).avg_packet_latency())
-                })
+                .map(|s| (*s, results.next().expect("vaxx cell").avg_packet_latency()))
                 .collect();
             rows.push(SensitivityRow {
                 benchmark: b,
@@ -459,12 +510,27 @@ pub fn fig16(config: &SystemConfig, seed: u64) -> Vec<Fig16Row> {
     use anoc_core::threshold::ErrorThreshold;
     let budgets = [0u32, 10, 20];
     let kernels = anoc_apps::default_kernels();
+    // The network cells (one FP-COMP anchor plus one FP-VAXX run per nonzero
+    // budget, per benchmark) go through a campaign; the application kernels
+    // are cheap and stay on this thread.
+    let mut jobs = Vec::new();
+    for (_, benchmark) in kernels.iter().zip(Benchmark::ALL) {
+        jobs.push(benchmark_job(benchmark, Mechanism::FpComp, config, seed));
+        for &budget in &budgets[1..] {
+            let cfg = config.clone().with_threshold(budget);
+            jobs.push(benchmark_job(benchmark, Mechanism::FpVaxx, &cfg, seed));
+        }
+    }
+    let mut lats = context()
+        .run("fig16", jobs)
+        .into_iter()
+        .map(|r| r.avg_packet_latency());
     let mut rows = Vec::new();
     for (kernel, benchmark) in kernels.iter().zip(Benchmark::ALL) {
         let precise = kernel.run(&mut PreciseTransport);
         let sharing = benchmark.profile().sharing;
         // Latency at 0% budget (exact compression) anchors performance.
-        let lat0 = run_benchmark(benchmark, Mechanism::FpComp, config, seed).avg_packet_latency();
+        let lat0 = lats.next().expect("anchor cell");
         for budget in budgets {
             let (error, worst, lat) = if budget == 0 {
                 (0.0, 0.0, lat0)
@@ -476,9 +542,7 @@ pub fn fig16(config: &SystemConfig, seed: u64) -> Vec<Fig16Row> {
                 let mut adv = anoc_apps::transport::AdversarialTransport::new(threshold);
                 let worst_out = kernel.run(&mut adv);
                 let worst = kernel.output_error(&precise, &worst_out);
-                let cfg = config.clone().with_threshold(budget);
-                let lat =
-                    run_benchmark(benchmark, Mechanism::FpVaxx, &cfg, seed).avg_packet_latency();
+                let lat = lats.next().expect("budget cell");
                 (err, worst, lat)
             };
             // Network latency improvement → runtime improvement, scaled by
@@ -558,6 +622,36 @@ pub fn fig17(seed: u64) -> Fig17Result {
 /// claim that VAXX is a "plug and play module for any underlying NoC data
 /// compression mechanism".
 pub fn extension_study(benchmark: Benchmark, config: &SystemConfig, seed: u64) -> Vec<RunResult> {
+    const MECHANISMS: [Mechanism; 6] = [
+        Mechanism::FpComp,
+        Mechanism::FpVaxx,
+        Mechanism::Custom("BD-COMP"),
+        Mechanism::Custom("BD-VAXX"),
+        Mechanism::Custom("FP-adaptive"),
+        Mechanism::Custom("FP-VAXX-win"),
+    ];
+    let jobs = MECHANISMS
+        .iter()
+        .map(|&mechanism| {
+            let id = format!("ext/{}/{}", benchmark.name(), mechanism.name());
+            let key = cell_key("ext", config, mechanism.name(), benchmark.name(), seed);
+            let config = config.clone();
+            JobSpec::new(id, key, move || {
+                run_extension_cell(benchmark, mechanism, &config, seed)
+            })
+        })
+        .collect();
+    context().run("extensions", jobs)
+}
+
+/// Runs one extension-study cell: `mechanism`'s codec family (built fresh
+/// per node) under benchmark traffic.
+fn run_extension_cell(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+) -> RunResult {
     use crate::runner::run_custom;
     use anoc_compression::adaptive::AdaptiveEncoder;
     use anoc_compression::bd::{BdDecoder, BdEncoder};
@@ -569,63 +663,35 @@ pub fn extension_study(benchmark: Benchmark, config: &SystemConfig, seed: u64) -
 
     let nodes = config.noc.num_nodes();
     let t = config.threshold();
-    let entries: Vec<(Mechanism, Box<dyn Fn() -> NodeCodec>)> = vec![
-        (
-            Mechanism::FpComp,
-            Box::new(|| NodeCodec::new(Box::new(FpEncoder::fp_comp()), Box::new(FpDecoder::new()))),
-        ),
-        (
-            Mechanism::FpVaxx,
-            Box::new(move || {
-                NodeCodec::new(
-                    Box::new(FpEncoder::fp_vaxx(Avcl::new(t))),
-                    Box::new(FpDecoder::new()),
-                )
-            }),
-        ),
-        (
-            Mechanism::Custom("BD-COMP"),
-            Box::new(|| NodeCodec::new(Box::new(BdEncoder::bd_comp()), Box::new(BdDecoder::new()))),
-        ),
-        (
-            Mechanism::Custom("BD-VAXX"),
-            Box::new(move || {
-                NodeCodec::new(
-                    Box::new(BdEncoder::bd_vaxx(Avcl::new(t))),
-                    Box::new(BdDecoder::new()),
-                )
-            }),
-        ),
-        (
-            Mechanism::Custom("FP-adaptive"),
-            Box::new(|| {
-                NodeCodec::new(
-                    Box::new(AdaptiveEncoder::new(FpEncoder::fp_comp())),
-                    Box::new(FpDecoder::new()),
-                )
-            }),
-        ),
-        (
-            Mechanism::Custom("FP-VAXX-win"),
-            Box::new(move || {
-                NodeCodec::new(
-                    Box::new(FpEncoder::fp_vaxx_windowed(WindowBudget::new(
-                        16,
-                        t.percent().max(1),
-                    ))),
-                    Box::new(FpDecoder::new()),
-                )
-            }),
-        ),
-    ];
-    entries
-        .into_iter()
-        .map(|(mechanism, factory)| {
-            let mut source = BenchmarkTraffic::new(benchmark, nodes, config.approx_ratio, seed);
-            let codecs = (0..nodes).map(|_| factory()).collect();
-            run_custom(&mut source, mechanism, config, codecs)
-        })
-        .collect()
+    let factory = || -> NodeCodec {
+        match mechanism.name() {
+            "FP-COMP" => NodeCodec::new(Box::new(FpEncoder::fp_comp()), Box::new(FpDecoder::new())),
+            "FP-VAXX" => NodeCodec::new(
+                Box::new(FpEncoder::fp_vaxx(Avcl::new(t))),
+                Box::new(FpDecoder::new()),
+            ),
+            "BD-COMP" => NodeCodec::new(Box::new(BdEncoder::bd_comp()), Box::new(BdDecoder::new())),
+            "BD-VAXX" => NodeCodec::new(
+                Box::new(BdEncoder::bd_vaxx(Avcl::new(t))),
+                Box::new(BdDecoder::new()),
+            ),
+            "FP-adaptive" => NodeCodec::new(
+                Box::new(AdaptiveEncoder::new(FpEncoder::fp_comp())),
+                Box::new(FpDecoder::new()),
+            ),
+            "FP-VAXX-win" => NodeCodec::new(
+                Box::new(FpEncoder::fp_vaxx_windowed(WindowBudget::new(
+                    16,
+                    t.percent().max(1),
+                ))),
+                Box::new(FpDecoder::new()),
+            ),
+            other => panic!("unknown extension mechanism {other}"),
+        }
+    };
+    let mut source = BenchmarkTraffic::new(benchmark, nodes, config.approx_ratio, seed);
+    let codecs = (0..nodes).map(|_| factory()).collect();
+    run_custom(&mut source, mechanism, config, codecs)
 }
 
 /// Renders the extension study as a text table.

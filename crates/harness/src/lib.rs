@@ -8,6 +8,14 @@
 //! * [`runner`] — the generic traffic → NoC → statistics driver;
 //! * [`experiments`] — one runner per figure (`fig9` … `fig17`) plus text
 //!   renderers producing the same rows/series the paper reports;
+//! * [`campaign`] — the bridge to the `anoc-exec` parallel engine: cell
+//!   content keys, the result-cache codec and the process-wide
+//!   [`campaign::ExecContext`] every figure runner executes on;
+//! * [`cli`] — the unified `anoc` command line (`anoc run fig9`,
+//!   `anoc cache clear`, …) that the root binary and every per-figure
+//!   alias binary delegate to;
+//! * [`persist`] — bit-exact text serialization of [`RunResult`] for the
+//!   on-disk result cache;
 //! * [`power`] — the event-count dynamic power model and the §5.5 area
 //!   accounting.
 //!
@@ -26,11 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod cli;
 pub mod config;
 pub mod experiments;
+pub mod persist;
 pub mod power;
 pub mod runner;
 
+pub use campaign::ExecContext;
 pub use config::{Mechanism, SystemConfig};
 pub use power::{AreaModel, EnergyModel};
 pub use runner::{run_benchmark, run_with_source, RunResult};

@@ -1,0 +1,263 @@
+//! Bit-exact text serialization of [`RunResult`] for the campaign cache.
+//!
+//! The format is line-oriented plain text (the cache stores text payloads)
+//! and round-trips every field exactly: `f64`s are stored as the hex of
+//! their IEEE-754 bits, and the latency histogram as sparse
+//! `bucket:count` pairs. A decoded result is indistinguishable from the
+//! freshly simulated one, which is what lets cached cells participate in
+//! bit-identical figure regeneration.
+
+use anoc_core::codec::{CodecActivity, EncodeStats};
+use anoc_core::metrics::QualityAccumulator;
+use anoc_noc::router::RouterActivity;
+use anoc_noc::{ActivityReport, LatencyHistogram, NetStats};
+
+use crate::config::Mechanism;
+use crate::runner::RunResult;
+
+/// Magic first line of the payload; bump the version when the layout of
+/// [`RunResult`] changes so stale cache entries turn into misses.
+const MAGIC: &str = "# anoc-result v1";
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_hex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn parse_u64s<const N: usize>(line: &str) -> Option<[u64; N]> {
+    let mut out = [0u64; N];
+    let mut fields = line.split_ascii_whitespace();
+    for slot in &mut out {
+        *slot = fields.next()?.parse().ok()?;
+    }
+    fields.next().is_none().then_some(out)
+}
+
+/// Encodes a [`RunResult`] as the cache text payload.
+pub fn encode_run_result(r: &RunResult) -> String {
+    let s = &r.stats;
+    let mut out = String::with_capacity(512);
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("mechanism {}\n", r.mechanism.name()));
+    out.push_str(&format!("nodes {}\n", r.nodes));
+    out.push_str(&format!(
+        "stats {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+        s.cycles,
+        s.packets,
+        s.data_packets,
+        s.control_packets,
+        s.queue_lat_sum,
+        s.net_lat_sum,
+        s.decode_lat_sum,
+        s.flits_injected,
+        s.data_flits_injected,
+        s.control_flits_injected,
+        s.flits_delivered,
+        s.baseline_data_flits,
+        s.unfinished,
+    ));
+    let e = &s.encode;
+    out.push_str(&format!(
+        "encode {} {} {} {} {} {}\n",
+        e.words, e.exact_encoded, e.approx_encoded, e.raw, e.bits_in, e.bits_out,
+    ));
+    out.push_str(&format!(
+        "quality {} {} {}\n",
+        s.quality.words(),
+        f64_hex(s.quality.error_sum()),
+        f64_hex(s.quality.max_relative_error()),
+    ));
+    out.push_str(&format!("hist {}", s.latency_histogram.max()));
+    for (b, c) in s.latency_histogram.nonzero_buckets() {
+        out.push_str(&format!(" {b}:{c}"));
+    }
+    out.push('\n');
+    let a = &r.activity;
+    out.push_str(&format!(
+        "routers {} {} {} {} {}\n",
+        a.routers.buffer_writes,
+        a.routers.buffer_reads,
+        a.routers.vc_allocs,
+        a.routers.crossbar_traversals,
+        a.routers.link_traversals,
+    ));
+    for (tag, c) in [("encoders", &a.encoders), ("decoders", &a.decoders)] {
+        out.push_str(&format!(
+            "{tag} {} {} {} {} {} {} {}\n",
+            c.cam_searches,
+            c.tcam_searches,
+            c.table_updates,
+            c.avcl_ops,
+            c.words_encoded,
+            c.words_decoded,
+            c.notifications,
+        ));
+    }
+    out.push_str(&format!("activity_cycles {}\n", a.cycles));
+    out
+}
+
+/// Decodes a payload written by [`encode_run_result`]. Any mismatch —
+/// version bump, truncation, unknown mechanism — yields `None`, which the
+/// campaign layer treats as a cache miss.
+pub fn decode_run_result(payload: &str) -> Option<RunResult> {
+    let mut lines = payload.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let mechanism = Mechanism::from_name(lines.next()?.strip_prefix("mechanism ")?)?;
+    let nodes: usize = lines.next()?.strip_prefix("nodes ")?.parse().ok()?;
+    let st = parse_u64s::<13>(lines.next()?.strip_prefix("stats ")?)?;
+    let en = parse_u64s::<6>(lines.next()?.strip_prefix("encode ")?)?;
+
+    let mut q = lines
+        .next()?
+        .strip_prefix("quality ")?
+        .split_ascii_whitespace();
+    let q_words: u64 = q.next()?.parse().ok()?;
+    let q_sum = parse_f64_hex(q.next()?)?;
+    let q_max = parse_f64_hex(q.next()?)?;
+    let quality = QualityAccumulator::from_raw(q_words, q_sum, q_max);
+
+    let mut h = lines
+        .next()?
+        .strip_prefix("hist ")?
+        .split_ascii_whitespace();
+    let h_max: u64 = h.next()?.parse().ok()?;
+    let mut buckets = Vec::new();
+    for pair in h {
+        let (b, c) = pair.split_once(':')?;
+        buckets.push((b.parse().ok()?, c.parse().ok()?));
+    }
+    let latency_histogram = LatencyHistogram::from_buckets(buckets, h_max)?;
+
+    let rt = parse_u64s::<5>(lines.next()?.strip_prefix("routers ")?)?;
+    let ec = parse_u64s::<7>(lines.next()?.strip_prefix("encoders ")?)?;
+    let dc = parse_u64s::<7>(lines.next()?.strip_prefix("decoders ")?)?;
+    let activity_cycles: u64 = lines
+        .next()?
+        .strip_prefix("activity_cycles ")?
+        .parse()
+        .ok()?;
+    if lines.next().is_some() {
+        return None;
+    }
+
+    let codec_activity = |c: [u64; 7]| CodecActivity {
+        cam_searches: c[0],
+        tcam_searches: c[1],
+        table_updates: c[2],
+        avcl_ops: c[3],
+        words_encoded: c[4],
+        words_decoded: c[5],
+        notifications: c[6],
+    };
+    Some(RunResult {
+        mechanism,
+        stats: NetStats {
+            cycles: st[0],
+            packets: st[1],
+            data_packets: st[2],
+            control_packets: st[3],
+            queue_lat_sum: st[4],
+            net_lat_sum: st[5],
+            decode_lat_sum: st[6],
+            flits_injected: st[7],
+            data_flits_injected: st[8],
+            control_flits_injected: st[9],
+            flits_delivered: st[10],
+            baseline_data_flits: st[11],
+            unfinished: st[12],
+            encode: EncodeStats {
+                words: en[0],
+                exact_encoded: en[1],
+                approx_encoded: en[2],
+                raw: en[3],
+                bits_in: en[4],
+                bits_out: en[5],
+            },
+            quality,
+            latency_histogram,
+        },
+        activity: ActivityReport {
+            routers: RouterActivity {
+                buffer_writes: rt[0],
+                buffer_reads: rt[1],
+                vc_allocs: rt[2],
+                crossbar_traversals: rt[3],
+                link_traversals: rt[4],
+            },
+            encoders: codec_activity(ec),
+            decoders: codec_activity(dc),
+            cycles: activity_cycles,
+        },
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::runner::run_benchmark;
+    use anoc_traffic::Benchmark;
+
+    fn assert_roundtrip(r: &RunResult) {
+        let text = encode_run_result(r);
+        let back = decode_run_result(&text).expect("decode");
+        assert_eq!(back.mechanism, r.mechanism);
+        assert_eq!(back.nodes, r.nodes);
+        // Re-encoding the decoded value must be byte-identical: that is the
+        // exactness property the cache relies on.
+        assert_eq!(encode_run_result(&back), text);
+        // Spot-check the derived metrics, bit for bit.
+        assert_eq!(
+            back.avg_packet_latency().to_bits(),
+            r.avg_packet_latency().to_bits()
+        );
+        assert_eq!(back.data_quality().to_bits(), r.data_quality().to_bits());
+        assert_eq!(back.latency_percentile(99.0), r.latency_percentile(99.0));
+        assert_eq!(
+            back.stats.normalized_data_flits().to_bits(),
+            r.stats.normalized_data_flits().to_bits()
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_for_real_runs() {
+        let cfg = SystemConfig::paper().with_sim_cycles(1_500);
+        for m in crate::config::Mechanism::ALL {
+            let r = run_benchmark(Benchmark::Ssca2, m, &cfg, 11);
+            assert_roundtrip(&r);
+        }
+    }
+
+    #[test]
+    fn roundtrip_handles_default_and_custom() {
+        let r = RunResult {
+            mechanism: Mechanism::Custom("BD-VAXX"),
+            stats: NetStats::default(),
+            activity: ActivityReport::default(),
+            nodes: 0,
+        };
+        assert_roundtrip(&r);
+    }
+
+    #[test]
+    fn corrupt_payloads_decode_to_none() {
+        let cfg = SystemConfig::paper().with_sim_cycles(1_000);
+        let r = run_benchmark(Benchmark::X264, Mechanism::FpVaxx, &cfg, 1);
+        let good = encode_run_result(&r);
+        assert!(decode_run_result("").is_none());
+        assert!(decode_run_result("garbage").is_none());
+        assert!(decode_run_result(&good.replace("v1", "v0")).is_none());
+        let truncated = &good[..good.rfind("activity_cycles").expect("field present")];
+        assert!(decode_run_result(truncated).is_none());
+        let unknown = good.replace("mechanism FP-VAXX", "mechanism NO-SUCH");
+        assert!(decode_run_result(&unknown).is_none());
+    }
+}

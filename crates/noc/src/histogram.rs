@@ -112,6 +112,32 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// The occupied buckets as `(bucket index, count)` pairs, sparse — the
+    /// exact state needed to reconstruct the histogram with
+    /// [`from_buckets`](Self::from_buckets).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(b, c)| (b, *c))
+    }
+
+    /// Rebuilds a histogram from sparse `(bucket index, count)` pairs and the
+    /// exact maximum sample. Out-of-range bucket indices return `None`.
+    pub fn from_buckets(buckets: impl IntoIterator<Item = (usize, u64)>, max: u64) -> Option<Self> {
+        let mut h = LatencyHistogram::new();
+        for (b, c) in buckets {
+            if b >= BUCKETS {
+                return None;
+            }
+            h.counts[b] += c;
+            h.total += c;
+        }
+        h.max = max;
+        Some(h)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

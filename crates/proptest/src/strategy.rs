@@ -1,0 +1,426 @@
+//! Input-generation strategies and the macros of the public API.
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case inputs.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a pure
+/// function from the deterministic [`TestRng`] to a value.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniformly random values of a primitive type — `any::<T>()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below_u64(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below_u64(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start() + (rng.unit_f64() as $t) * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// `prop_map` combinator.
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    pub(crate) source: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// An inclusive length range for collection strategies, converted from the
+/// range forms `prop::collection::vec` accepts (so bare literals like `1..5`
+/// unify to `usize`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// `prop::collection::vec` combinator.
+#[derive(Clone, Copy, Debug)]
+pub struct VecStrategy<E> {
+    pub(crate) elem: E,
+    pub(crate) sizes: SizeRange,
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+        let span = (self.sizes.hi - self.sizes.lo + 1) as u64;
+        let len = self.sizes.lo + rng.below_u64(span) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// `prop::sample::select` combinator.
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    pub(crate) items: Vec<T>,
+}
+
+/// `prop_oneof!` combinator: uniform choice among boxed alternatives.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; panics on an empty list.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u32) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`] (used by `prop_oneof!` so type inference
+/// unifies heterogeneous arms).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// The property-test entry macro; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_property(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among the listed strategies (all arms must generate the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __a,
+            __b
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = (1u32..=100).generate(&mut rng);
+            assert!((1..=100).contains(&v));
+            let w = (-128i32..=127).generate(&mut rng);
+            assert!((-128..=127).contains(&w));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let u = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let strat = prop::collection::vec(any::<i32>(), 4..=8).prop_map(|v| v.len());
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let n = strat.generate(&mut rng);
+            assert!((4..=8).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), 10u32..=20];
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                10..=20 => seen[2] = true,
+                other => panic!("out-of-range value {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn normal_floats_are_normal() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(3);
+        for _ in 0..500 {
+            assert!(prop::num::f32::NORMAL.generate(&mut rng).is_normal());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(any::<u64>(), 1..=16);
+        let gen = |seed| {
+            let mut rng = crate::test_runner::TestRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| strat.generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: bindings, assume and assert plumbing.
+        #[test]
+        fn macro_end_to_end(a in 1u32..=50, b in any::<bool>(), xs in prop::collection::vec(0u8..10, 1..5)) {
+            prop_assume!(a != 13);
+            prop_assert!((1..=50).contains(&a));
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a, 0u32);
+            prop_assert!(xs.iter().all(|x| *x < 10), "bad vec {:?}", xs);
+        }
+    }
+}

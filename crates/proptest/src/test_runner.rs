@@ -1,0 +1,130 @@
+//! The case driver: configuration, deterministic RNG and failure plumbing.
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count, honouring the `ANOC_PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("ANOC_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+            .max(1)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying `msg`.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// A small, fast, deterministic RNG (splitmix64) for input generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "below(0)");
+        // Lemire-style widening multiply: negligible bias is irrelevant for
+        // test-input generation.
+        ((u64::from(self.next_u32()) * u64::from(bound)) >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)` for 64-bit bounds.
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below_u64(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs a property body over `config.effective_cases()` deterministic cases.
+///
+/// `body` receives a fresh RNG per case; `Reject` outcomes are skipped (with
+/// a retry budget so heavy `prop_assume!` filters still make progress),
+/// `Fail` panics with the case index and message.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    body: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = config.effective_cases();
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    let mut salt = 0u64;
+    while case < cases {
+        // Distinct, deterministic seed per (property, case, reject-retry).
+        let mut seed = 0xA5A5_0000_0000_0000u64 ^ u64::from(case) ^ (salt << 32);
+        for b in name.bytes() {
+            seed = seed
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(u64::from(b));
+        }
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                salt += 1;
+                assert!(
+                    rejected < cases.saturating_mul(16).max(1024),
+                    "property {name}: too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed at case {case}: {msg}")
+            }
+        }
+    }
+}

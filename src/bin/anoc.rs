@@ -1,276 +1,18 @@
 //! `anoc` — the unified command-line entry point of the APPROX-NoC
-//! reproduction: regenerate any table or figure, in text or CSV.
+//! reproduction: regenerate any table or figure, in text or CSV, on the
+//! parallel campaign engine with result caching.
 //!
 //! ```sh
-//! anoc table1
-//! anoc fig9 --cycles 50000
-//! anoc fig12 --cycles 15000 --csv > fig12.csv
-//! anoc fig17 --out target/fig17
-//! anoc extensions
-//! anoc capture --out trace.txt --cycles 5000   # persist a benchmark trace
-//! anoc replay --out trace.txt                  # simulate from a saved trace
-//! anoc all --cycles 20000
+//! anoc run fig9
+//! anoc run all --cycles 20000
+//! anoc run ablations --no-cache
+//! anoc run fig12 --csv > fig12.csv
+//! anoc cache stats
+//! anoc fig9 --cycles 50000        # legacy alias for `anoc run fig9`
 //! ```
-
-use approx_noc::harness::experiments::{self, BenchmarkMatrix};
-use approx_noc::harness::{AreaModel, SystemConfig};
-use approx_noc::traffic::{Benchmark, DestPattern};
-
-struct Args {
-    command: String,
-    cycles: u64,
-    csv: bool,
-    out: String,
-    seed: u64,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        command: String::new(),
-        cycles: 0,
-        csv: false,
-        out: "target/fig17".into(),
-        seed: 42,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--cycles" => {
-                args.cycles = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--cycles needs a number"));
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"));
-            }
-            "--csv" => args.csv = true,
-            "--out" => {
-                args.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
-            }
-            cmd if args.command.is_empty() && !cmd.starts_with('-') => {
-                args.command = cmd.to_string();
-            }
-            other => usage(&format!("unknown argument {other}")),
-        }
-    }
-    if args.command.is_empty() {
-        usage("missing command");
-    }
-    args
-}
-
-fn usage(err: &str) -> ! {
-    eprintln!("error: {err}");
-    eprintln!(
-        "usage: anoc <table1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|extensions|\
-         capture|replay|all> [--cycles N] [--seed N] [--csv] [--out PATH]"
-    );
-    std::process::exit(2);
-}
-
-fn config(args: &Args, default_cycles: u64) -> SystemConfig {
-    let cycles = if args.cycles == 0 {
-        default_cycles
-    } else {
-        args.cycles
-    };
-    SystemConfig::paper().with_sim_cycles(cycles)
-}
-
-fn matrix_figures(args: &Args, which: &str) {
-    let cfg = config(args, 50_000);
-    let matrix = BenchmarkMatrix::run(&cfg, args.seed);
-    match (which, args.csv) {
-        ("fig9", false) => print!("{}", experiments::render_fig9(&experiments::fig9(&matrix))),
-        ("fig9", true) => print!("{}", experiments::fig9_csv(&experiments::fig9(&matrix))),
-        ("fig10", false) => print!(
-            "{}",
-            experiments::render_fig10(&experiments::fig10(&matrix))
-        ),
-        ("fig10", true) => print!("{}", experiments::fig10_csv(&experiments::fig10(&matrix))),
-        ("fig11", false) => print!(
-            "{}",
-            experiments::render_fig11(&experiments::fig11(&matrix))
-        ),
-        ("fig11", true) => print!("{}", experiments::fig11_csv(&experiments::fig11(&matrix))),
-        ("fig15", false) => {
-            print!(
-                "{}",
-                experiments::render_fig15(&experiments::fig15(&matrix))
-            );
-            let area = AreaModel::default();
-            println!(
-                "\nSection 5.5 area: DI-VAXX {:.4} mm^2, FP-VAXX {:.4} mm^2",
-                area.di_vaxx_encoder_mm2(),
-                area.fp_vaxx_encoder_mm2()
-            );
-        }
-        ("fig15", true) => print!("{}", experiments::fig15_csv(&experiments::fig15(&matrix))),
-        _ => unreachable!(),
-    }
-}
-
-fn run_fig12(args: &Args) {
-    let cfg = config(args, 15_000);
-    let rates: Vec<f64> = (1..=14).map(|i| i as f64 * 0.05).collect();
-    for (bench, label) in [
-        (Benchmark::Blackscholes, "blackscholes"),
-        (Benchmark::Streamcluster, "streamcluster"),
-    ] {
-        for (pattern, pname) in [
-            (DestPattern::UniformRandom, "UR"),
-            (DestPattern::Transpose, "TR"),
-        ] {
-            let series = experiments::fig12(bench, pattern, &rates, &cfg, args.seed);
-            let panel = format!("{label} {pname}");
-            if args.csv {
-                print!("{}", experiments::fig12_csv(&panel, &series));
-            } else {
-                print!("{}", experiments::render_fig12(&panel, &series));
-            }
-        }
-    }
-}
-
-fn run_fig17(args: &Args) {
-    let r = experiments::fig17(args.seed);
-    std::fs::create_dir_all(&args.out).expect("create output directory");
-    let precise = format!("{}/bodytrack_precise.pgm", args.out);
-    let approx = format!("{}/bodytrack_approx.pgm", args.out);
-    std::fs::write(&precise, &r.precise_pgm).expect("write precise frame");
-    std::fs::write(&approx, &r.approx_pgm).expect("write approximate frame");
-    println!(
-        "Figure 17: vector difference {:.4}% (paper: 2.4%)\n  {precise}\n  {approx}",
-        r.vector_difference * 100.0
-    );
-}
+//!
+//! All parsing and dispatch lives in [`approx_noc::harness::cli`].
 
 fn main() {
-    let args = parse_args();
-    if args.command == "all" {
-        for cmd in [
-            "table1",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig16",
-            "fig17",
-            "extensions",
-        ] {
-            println!("==== {cmd} ====");
-            let sub = Args {
-                command: cmd.into(),
-                cycles: args.cycles,
-                csv: false,
-                out: args.out.clone(),
-                seed: args.seed,
-            };
-            dispatch(&sub);
-        }
-    } else {
-        dispatch(&args);
-    }
-}
-
-fn dispatch(args: &Args) {
-    match args.command.as_str() {
-        "table1" => {
-            for (k, v) in SystemConfig::paper().table1_rows() {
-                println!("{k:<34} {v}");
-            }
-        }
-        "fig9" | "fig10" | "fig11" | "fig15" => matrix_figures(args, &args.command),
-        "fig12" => run_fig12(args),
-        "fig13" => {
-            let rows = experiments::fig13(&config(args, 15_000), args.seed);
-            if args.csv {
-                print!("{}", experiments::sensitivity_csv(&rows));
-            } else {
-                print!(
-                    "{}",
-                    experiments::render_sensitivity(
-                        "Figure 13: Error Threshold Sensitivity",
-                        &rows
-                    )
-                );
-            }
-        }
-        "fig14" => {
-            let rows = experiments::fig14(&config(args, 15_000), args.seed);
-            if args.csv {
-                print!("{}", experiments::sensitivity_csv(&rows));
-            } else {
-                print!(
-                    "{}",
-                    experiments::render_sensitivity(
-                        "Figure 14: Approximable Packets Ratio Sensitivity",
-                        &rows
-                    )
-                );
-            }
-        }
-        "fig16" => {
-            let rows = experiments::fig16(&config(args, 15_000), args.seed);
-            if args.csv {
-                print!("{}", experiments::fig16_csv(&rows));
-            } else {
-                print!("{}", experiments::render_fig16(&rows));
-            }
-        }
-        "fig17" => run_fig17(args),
-        "extensions" => {
-            let cfg = config(args, 20_000);
-            for b in [Benchmark::Blackscholes, Benchmark::Ssca2, Benchmark::X264] {
-                let results = experiments::extension_study(b, &cfg, args.seed);
-                println!("{}", experiments::render_extension(b, &results));
-            }
-        }
-        "capture" => {
-            use approx_noc::traffic::{BenchmarkTraffic, Trace};
-            let cfg = config(args, 10_000);
-            let mut source = BenchmarkTraffic::new(
-                Benchmark::Ssca2,
-                cfg.noc.num_nodes(),
-                cfg.approx_ratio,
-                args.seed,
-            );
-            let trace = Trace::capture(&mut source, cfg.warmup_cycles + cfg.sim_cycles);
-            trace.save(&args.out).expect("write trace file");
-            println!(
-                "captured {} injections over {} cycles into {}",
-                trace.len(),
-                cfg.warmup_cycles + cfg.sim_cycles,
-                args.out
-            );
-        }
-        "replay" => {
-            use approx_noc::harness::runner::run_with_source;
-            use approx_noc::harness::Mechanism;
-            use approx_noc::traffic::Trace;
-            let cfg = config(args, 10_000);
-            let trace = Trace::load(&args.out).expect("read trace file");
-            println!("replaying {} injections from {}:", trace.len(), args.out);
-            for m in Mechanism::ALL {
-                let mut replay = trace.replay();
-                let r = run_with_source(&mut replay, m, &cfg);
-                println!(
-                    "  {:<9} latency {:>8.2}  p99 {:>5}  norm_flits {:.3}  quality {:.4}",
-                    m.name(),
-                    r.avg_packet_latency(),
-                    r.latency_percentile(99.0),
-                    r.stats.normalized_data_flits(),
-                    r.data_quality()
-                );
-            }
-        }
-        other => usage(&format!("unknown command {other}")),
-    }
+    std::process::exit(approx_noc::harness::cli::run());
 }
