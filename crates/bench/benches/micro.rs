@@ -73,6 +73,42 @@ fn bench(c: &mut Criterion) {
             sim.cycle()
         })
     });
+    // The kernel benchmark behind BENCH_kernel.json: the steady-state step
+    // loop under sustained uniform-random traffic on the paper's 4x4 cmesh.
+    // Each iteration advances 100 cycles with fresh injections, so the
+    // reported time divided by 100 is the per-cycle cost at steady state.
+    group.bench_function("step_4x4_cmesh_uniform_random", |b| {
+        let cfg = NocConfig::paper_4x4_cmesh();
+        let n = cfg.num_nodes();
+        let mut sim = NocSim::new(cfg, (0..n).map(|_| NodeCodec::baseline()).collect());
+        let mut rng = Pcg32::seed_from_u64(42);
+        let drive = move |sim: &mut NocSim, rng: &mut Pcg32, cycles: u64| {
+            for _ in 0..cycles {
+                for node in 0..n {
+                    let roll = rng.below(100);
+                    if roll < 4 {
+                        let mut d = rng.below(n as u32) as usize;
+                        if d == node {
+                            d = (d + 1) % n;
+                        }
+                        sim.enqueue_control(NodeId(node as u16), NodeId(d as u16));
+                    } else if roll < 5 {
+                        let mut d = rng.below(n as u32) as usize;
+                        if d == node {
+                            d = (d + 1) % n;
+                        }
+                        let block = CacheBlock::from_i32(&[roll as i32; 16]);
+                        sim.enqueue_data(NodeId(node as u16), NodeId(d as u16), block);
+                    }
+                }
+                sim.step();
+            }
+            sim.drain_delivered().len()
+        };
+        // Reach steady state before sampling.
+        drive(&mut sim, &mut rng, 2_000);
+        b.iter(|| drive(&mut sim, &mut rng, 100))
+    });
     group.bench_function("deliver_1000_packets", |b| {
         b.iter(|| {
             let cfg = NocConfig::paper_4x4_cmesh();

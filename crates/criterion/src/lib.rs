@@ -12,6 +12,11 @@
 //! minimum and maximum per-iteration times are printed to stdout. There are
 //! no plots, no statistics beyond the above, and no baseline comparisons —
 //! enough to track hot-path regressions by eye or by diffing output.
+//!
+//! `cargo bench -- --test` mirrors real criterion's test mode: every
+//! benchmark routine runs exactly once with no warmup or sampling, so CI can
+//! smoke-check that benches still compile and execute without paying for a
+//! measurement.
 
 #![forbid(unsafe_code)]
 
@@ -31,16 +36,19 @@ const WARMUP: Duration = Duration::from_millis(150);
 /// The benchmark driver handed to `criterion_group!` functions.
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench -- <filter>` passes the filter as a free argument;
-        // ignore harness flags we do not implement.
+        // `-- --test` selects test mode; ignore other harness flags we do
+        // not implement.
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "--bench");
-        Criterion { filter }
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+        Criterion { filter, test_mode }
     }
 }
 
@@ -68,10 +76,15 @@ impl Criterion {
         }
         let mut bencher = Bencher {
             sample_size,
+            test_mode: self.test_mode,
             samples: Vec::new(),
         };
         f(&mut bencher);
-        bencher.report(name);
+        if self.test_mode {
+            println!("{name:<44} ok (test mode)");
+        } else {
+            bencher.report(name);
+        }
     }
 }
 
@@ -108,6 +121,7 @@ impl BenchmarkGroup<'_> {
 /// Times closures passed to [`Bencher::iter`].
 pub struct Bencher {
     sample_size: usize,
+    test_mode: bool,
     samples: Vec<Duration>,
 }
 
@@ -115,6 +129,11 @@ impl Bencher {
     /// Measures `routine`, auto-scaling iterations per sample so short
     /// routines are timed above clock resolution.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            // Smoke-run the routine once; no warmup, no sampling.
+            black_box(routine());
+            return;
+        }
         // Warm up and estimate a single-iteration cost.
         let warm_start = Instant::now();
         let mut iters_done: u32 = 0;
@@ -202,7 +221,10 @@ mod tests {
 
     #[test]
     fn bench_function_times_and_reports() {
-        let mut c = Criterion { filter: None };
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
         let mut ran = false;
         c.bench_function("shim/self_test", |b| {
             b.iter(|| black_box(3u64).wrapping_mul(7));
@@ -215,6 +237,7 @@ mod tests {
     fn groups_respect_sample_size_and_filter() {
         let mut c = Criterion {
             filter: Some("matches".into()),
+            test_mode: false,
         };
         let mut matched = false;
         let mut skipped = false;
@@ -231,6 +254,19 @@ mod tests {
             g.finish();
         }
         assert!(matched && !skipped);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut calls = 0u32;
+        c.bench_function("shim/test_mode", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
     }
 
     #[test]

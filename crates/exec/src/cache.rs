@@ -12,11 +12,12 @@
 //! <payload lines...>
 //! ```
 //!
-//! Writes go through a per-process temp file and an atomic rename, so
+//! Writes go through a uniquely named temp file and an atomic rename, so
 //! concurrent campaign workers never observe torn entries.
 
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::hash::key_digest;
 
@@ -86,11 +87,19 @@ impl ResultCache {
     ///
     /// Propagates I/O errors from writing the entry.
     pub fn put(&self, key: &str, payload: &str) -> io::Result<()> {
+        // The pid alone is not unique: two pool workers putting entries with
+        // the same digest would share a temp file and could rename a torn
+        // mix of their writes into place. A process-wide counter makes every
+        // put's temp file distinct.
+        static PUT_SEQ: AtomicU64 = AtomicU64::new(0);
         assert!(!key.contains('\n'), "cache keys must be single-line");
         let final_path = self.path_of(key);
-        let tmp_path = self
-            .dir
-            .join(format!(".{}.tmp-{}", key_digest(key), std::process::id()));
+        let tmp_path = self.dir.join(format!(
+            ".{}.tmp-{}-{}",
+            key_digest(key),
+            std::process::id(),
+            PUT_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         {
             let mut f = std::fs::File::create(&tmp_path)?;
             writeln!(f, "{MAGIC}")?;
@@ -211,6 +220,38 @@ mod tests {
         assert_eq!(cache.len(), 5);
         assert_eq!(cache.clear().expect("clear"), 5);
         assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn concurrent_puts_of_one_key_never_tear() {
+        // Hammer a single key from many threads: every get must observe one
+        // writer's complete payload, never a mix, and no temp files survive.
+        let cache = temp_cache("race");
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    let payload = format!("writer {t}\n").repeat(200);
+                    for _ in 0..50 {
+                        cache.put("contended key", &payload).expect("put");
+                        let got = cache.get("contended key").expect("entry exists");
+                        let writer = got.lines().next().expect("nonempty");
+                        assert!(got.lines().all(|l| l == writer), "torn entry mixes writers");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer thread");
+        }
+        assert_eq!(cache.len(), 1);
+        let leftovers: Vec<_> = std::fs::read_dir(cache.dir())
+            .expect("read dir")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

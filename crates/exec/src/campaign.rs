@@ -84,10 +84,32 @@ pub struct CampaignReport {
     pub executed: usize,
     /// Wall-clock duration of the whole campaign.
     pub wall: Duration,
+    /// Simulated cycles summed over the executed jobs (cache hits excluded;
+    /// 0 when no cycle extractor was supplied).
+    pub sim_cycles: u64,
+    /// Per-job wall time summed over the executed jobs — the serial cost,
+    /// where `wall` is the parallel one.
+    pub exec_wall: Duration,
+}
+
+impl CampaignReport {
+    /// Aggregate simulator throughput: simulated cycles per wall-clock
+    /// second of the campaign. Zero when nothing was executed.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.sim_cycles == 0 || self.wall.is_zero() {
+            0.0
+        } else {
+            self.sim_cycles as f64 / self.wall.as_secs_f64()
+        }
+    }
 }
 
 /// Runs a campaign on `pool`, optionally backed by `cache`, and returns the
 /// results **in plan order** plus a report.
+///
+/// `cycles_of` extracts the simulated-cycle count from a result; when
+/// supplied, per-job progress lines and the report carry cycles-per-second
+/// throughput.
 ///
 /// Cache misses and decode failures re-run the job; fresh results are
 /// written back. Cache write errors are reported to stderr but never fail
@@ -97,6 +119,7 @@ pub fn run_campaign<T: Send + 'static>(
     cache: Option<(&ResultCache, &dyn ResultCodec<T>)>,
     jobs: Vec<JobSpec<T>>,
     options: &CampaignOptions,
+    cycles_of: Option<fn(&T) -> u64>,
 ) -> (Vec<T>, CampaignReport) {
     let start = Instant::now();
     let total = jobs.len();
@@ -145,12 +168,16 @@ pub fn run_campaign<T: Send + 'static>(
             }) as Box<dyn FnOnce() -> (Duration, T) + Send>
         })
         .collect();
-    let fresh = pool.run_ordered_observed(tasks, |i, (wall, _)| {
-        progress.job_finished(&ids[i], *wall);
+    let fresh = pool.run_ordered_observed(tasks, |i, (wall, value)| {
+        progress.job_finished(&ids[i], *wall, cycles_of.map(|f| f(value)));
     });
 
     // Phase 3: write back and merge in plan order.
-    for (i, (_, value)) in fresh.into_iter().enumerate() {
+    let mut sim_cycles = 0u64;
+    let mut exec_wall = Duration::ZERO;
+    for (i, (wall, value)) in fresh.into_iter().enumerate() {
+        sim_cycles += cycles_of.map_or(0, |f| f(&value));
+        exec_wall += wall;
         if let Some((store, codec)) = cache.as_ref() {
             if let Err(err) = store.put(&keys[i], &codec.encode(&value)) {
                 eprintln!(
@@ -172,6 +199,8 @@ pub fn run_campaign<T: Send + 'static>(
         cache_hits,
         executed,
         wall: start.elapsed(),
+        sim_cycles,
+        exec_wall,
     };
     (results, report)
 }
@@ -214,7 +243,7 @@ mod tests {
                 })
             })
             .collect();
-        let (results, report) = run_campaign(&pool, None, jobs, &CampaignOptions::quiet());
+        let (results, report) = run_campaign(&pool, None, jobs, &CampaignOptions::quiet(), None);
         assert_eq!(results, (0..40).collect::<Vec<_>>());
         assert_eq!(report.jobs, 40);
         assert_eq!(report.executed, 40);
@@ -231,6 +260,7 @@ mod tests {
             Some((&cache, &codec)),
             square_jobs(12),
             &CampaignOptions::quiet(),
+            None,
         );
         assert_eq!(report.executed, 12);
         let (warm, report) = run_campaign(
@@ -238,6 +268,7 @@ mod tests {
             Some((&cache, &codec)),
             square_jobs(12),
             &CampaignOptions::quiet(),
+            None,
         );
         assert_eq!(report.executed, 0);
         assert_eq!(report.cache_hits, 12);
@@ -255,6 +286,7 @@ mod tests {
             Some((&cache, &codec)),
             square_jobs(8),
             &CampaignOptions::quiet(),
+            None,
         );
         // Same plan, but cell 3 now has a different content key (as if its
         // config changed): exactly one cell re-runs.
@@ -273,6 +305,7 @@ mod tests {
             Some((&cache, &codec)),
             jobs,
             &CampaignOptions::quiet(),
+            None,
         );
         assert_eq!(report.executed, 1);
         assert_eq!(report.cache_hits, 7);
@@ -290,6 +323,7 @@ mod tests {
             Some((&cache, &codec)),
             square_jobs(1),
             &CampaignOptions::quiet(),
+            None,
         );
         assert_eq!(results, vec![0]);
         assert_eq!(report.executed, 1);
@@ -299,11 +333,58 @@ mod tests {
     }
 
     #[test]
+    fn cycle_extractor_feeds_the_report() {
+        let pool = ThreadPool::new(2);
+        let (results, report) = run_campaign(
+            &pool,
+            None,
+            square_jobs(5),
+            &CampaignOptions::quiet(),
+            Some(|v: &u64| *v + 1),
+        );
+        assert_eq!(results.len(), 5);
+        assert_eq!(report.sim_cycles, (0..5u64).map(|i| i * i + 1).sum::<u64>());
+        assert!(report.cycles_per_second() > 0.0);
+        // Cached jobs contribute no cycles: they did not simulate.
+        let cache = temp_cache("cycles");
+        let codec = U64Codec;
+        let _ = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            square_jobs(5),
+            &CampaignOptions::quiet(),
+            Some(|v: &u64| *v + 1),
+        );
+        let (_, warm) = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            square_jobs(5),
+            &CampaignOptions::quiet(),
+            Some(|v: &u64| *v + 1),
+        );
+        assert_eq!(warm.sim_cycles, 0);
+        assert_eq!(warm.cycles_per_second(), 0.0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn parallel_equals_serial_bit_for_bit() {
         let serial = ThreadPool::new(1);
         let parallel = ThreadPool::new(8);
-        let (a, _) = run_campaign(&serial, None, square_jobs(32), &CampaignOptions::quiet());
-        let (b, _) = run_campaign(&parallel, None, square_jobs(32), &CampaignOptions::quiet());
+        let (a, _) = run_campaign(
+            &serial,
+            None,
+            square_jobs(32),
+            &CampaignOptions::quiet(),
+            None,
+        );
+        let (b, _) = run_campaign(
+            &parallel,
+            None,
+            square_jobs(32),
+            &CampaignOptions::quiet(),
+            None,
+        );
         assert_eq!(a, b);
     }
 }

@@ -28,7 +28,7 @@
 //! let jobs: Vec<JobSpec<u64>> = (0..16)
 //!     .map(|i| JobSpec::new(format!("square/{i}"), format!("square v1 n={i}"), move || i * i))
 //!     .collect();
-//! let (results, report) = run_campaign(&pool, None, jobs, &CampaignOptions::quiet());
+//! let (results, report) = run_campaign(&pool, None, jobs, &CampaignOptions::quiet(), None);
 //! assert_eq!(results[7], 49); // plan order, regardless of completion order
 //! assert_eq!(report.executed, 16);
 //! ```

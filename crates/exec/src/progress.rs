@@ -34,6 +34,7 @@ struct State {
     done: usize,
     running: usize,
     cache_hits: usize,
+    sim_cycles: u64,
     started: Instant,
     last_print: Option<Instant>,
 }
@@ -55,6 +56,7 @@ impl Progress {
                 done: 0,
                 running: 0,
                 cache_hits: 0,
+                sim_cycles: 0,
                 started: Instant::now(),
                 last_print: None,
             }),
@@ -73,12 +75,14 @@ impl Progress {
         self.lock().running += 1;
     }
 
-    /// Records a job finishing; `id` and `wall` feed the per-job line.
-    pub fn job_finished(&self, id: &str, wall: Duration) {
+    /// Records a job finishing; `id`, `wall` and the job's simulated cycle
+    /// count (when known) feed the per-job line.
+    pub fn job_finished(&self, id: &str, wall: Duration, sim_cycles: Option<u64>) {
         let line = {
             let mut s = self.lock();
             s.running = s.running.saturating_sub(1);
             s.done += 1;
+            s.sim_cycles += sim_cycles.unwrap_or(0);
             let finished_all = s.done >= s.total;
             let due = s
                 .last_print
@@ -95,8 +99,14 @@ impl Progress {
                 } else {
                     String::new()
                 };
+                let rate = match sim_cycles {
+                    Some(c) if !wall.is_zero() => {
+                        format!(" {:.2} Mcyc/s", c as f64 / wall.as_secs_f64() / 1e6)
+                    }
+                    _ => String::new(),
+                };
                 Some(format!(
-                    "[{}] {}/{} done ({} running, {} cached, {:.1}s elapsed{eta})  {} {:.0}ms",
+                    "[{}] {}/{} done ({} running, {} cached, {:.1}s elapsed{eta})  {} {:.0}ms{rate}",
                     self.label,
                     s.done,
                     s.total,
@@ -119,14 +129,23 @@ impl Progress {
             return;
         }
         let s = self.lock();
+        let elapsed = s.started.elapsed();
+        let rate = if s.sim_cycles > 0 && !elapsed.is_zero() {
+            format!(
+                ", {:.2} Mcyc/s",
+                s.sim_cycles as f64 / elapsed.as_secs_f64() / 1e6
+            )
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             std::io::stderr(),
-            "[{}] campaign complete: {} jobs, {} executed, {} cached, {:.1}s",
+            "[{}] campaign complete: {} jobs, {} executed, {} cached, {:.1}s{rate}",
             self.label,
             s.total,
             executed,
             s.cache_hits,
-            s.started.elapsed().as_secs_f64(),
+            elapsed.as_secs_f64(),
         );
     }
 
@@ -145,19 +164,20 @@ mod tests {
         p.cache_hits(1);
         p.job_started();
         p.job_started();
-        p.job_finished("a", Duration::from_millis(5));
-        p.job_finished("b", Duration::from_millis(7));
+        p.job_finished("a", Duration::from_millis(5), Some(10_000));
+        p.job_finished("b", Duration::from_millis(7), None);
         let s = p.lock();
         assert_eq!(s.done, 3);
         assert_eq!(s.running, 0);
         assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.sim_cycles, 10_000);
     }
 
     #[test]
     fn disabled_progress_never_prints_but_still_counts() {
         let p = Progress::with_enabled("quiet", 2, false);
         p.job_started();
-        p.job_finished("x", Duration::ZERO);
+        p.job_finished("x", Duration::ZERO, None);
         p.finish(1);
         assert_eq!(p.lock().done, 1);
     }

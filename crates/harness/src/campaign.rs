@@ -10,7 +10,9 @@
 //! are the same computation share a key across figures — a `fig13` rerun
 //! reuses the matrix cells `fig9` already paid for.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::Duration;
 
 use anoc_exec::{
     run_campaign, CampaignOptions, CampaignReport, JobSpec, ResultCache, ResultCodec, ThreadPool,
@@ -38,6 +40,44 @@ impl ResultCodec<RunResult> for RunResultCodec {
 pub struct ExecContext {
     pool: ThreadPool,
     cache: Option<ResultCache>,
+    sim_cycles: AtomicU64,
+    wall_nanos: AtomicU64,
+    executed_jobs: AtomicU64,
+}
+
+impl ExecContext {
+    fn with(pool: ThreadPool, cache: Option<ResultCache>) -> Self {
+        ExecContext {
+            pool,
+            cache,
+            sim_cycles: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+            executed_jobs: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Simulation-throughput totals accumulated over every campaign a context
+/// has run, for the `anoc run` end-of-run summary.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecTotals {
+    /// Simulated cycles across all executed (non-cached) jobs.
+    pub sim_cycles: u64,
+    /// Wall-clock time spent inside campaigns.
+    pub wall: Duration,
+    /// Jobs that actually simulated (cache hits excluded).
+    pub executed_jobs: u64,
+}
+
+impl ExecTotals {
+    /// Aggregate simulator throughput in cycles per second.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.sim_cycles == 0 || self.wall.is_zero() {
+            0.0
+        } else {
+            self.sim_cycles as f64 / self.wall.as_secs_f64()
+        }
+    }
 }
 
 static CONTEXT: OnceLock<ExecContext> = OnceLock::new();
@@ -46,12 +86,12 @@ static CONTEXT: OnceLock<ExecContext> = OnceLock::new();
 /// already installed (first caller wins); call before any experiment runs.
 pub fn configure(threads: Option<usize>, cache: Option<ResultCache>) -> bool {
     CONTEXT
-        .set(ExecContext {
-            pool: threads
+        .set(ExecContext::with(
+            threads
                 .map(ThreadPool::new)
                 .unwrap_or_else(ThreadPool::with_default_size),
             cache,
-        })
+        ))
         .is_ok()
 }
 
@@ -59,10 +99,7 @@ pub fn configure(threads: Option<usize>, cache: Option<ResultCache>) -> bool {
 /// the CLI opts into caching explicitly, so library users and tests always
 /// simulate for real unless they configure otherwise).
 pub fn context() -> &'static ExecContext {
-    CONTEXT.get_or_init(|| ExecContext {
-        pool: ThreadPool::with_default_size(),
-        cache: None,
-    })
+    CONTEXT.get_or_init(|| ExecContext::with(ThreadPool::with_default_size(), None))
 }
 
 impl ExecContext {
@@ -92,7 +129,29 @@ impl ExecContext {
             .cache
             .as_ref()
             .map(|c| (c, &RunResultCodec as &dyn ResultCodec<RunResult>));
-        run_campaign(&self.pool, binding, jobs, &CampaignOptions::labeled(label))
+        let (results, report) = run_campaign(
+            &self.pool,
+            binding,
+            jobs,
+            &CampaignOptions::labeled(label),
+            Some(|r: &RunResult| r.total_cycles),
+        );
+        self.sim_cycles
+            .fetch_add(report.sim_cycles, Ordering::Relaxed);
+        self.wall_nanos
+            .fetch_add(report.wall.as_nanos() as u64, Ordering::Relaxed);
+        self.executed_jobs
+            .fetch_add(report.executed as u64, Ordering::Relaxed);
+        (results, report)
+    }
+
+    /// Totals accumulated over every campaign this context has run.
+    pub fn totals(&self) -> ExecTotals {
+        ExecTotals {
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+            executed_jobs: self.executed_jobs.load(Ordering::Relaxed),
+        }
     }
 }
 

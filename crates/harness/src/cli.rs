@@ -211,23 +211,19 @@ fn execute(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Run { target, opts } => {
             install_context(&opts)?;
-            match target.as_str() {
-                "all" => {
-                    for t in TARGETS {
-                        println!("==== {t} ====");
-                        run_target(t, &opts)?;
-                    }
-                    Ok(())
-                }
-                "ablations" => {
-                    for t in ABLATIONS {
-                        println!("==== {t} ====");
-                        run_target(t, &opts)?;
-                    }
-                    Ok(())
-                }
+            let outcome = match target.as_str() {
+                "all" => TARGETS.iter().try_for_each(|t| {
+                    println!("==== {t} ====");
+                    run_target(t, &opts)
+                }),
+                "ablations" => ABLATIONS.iter().try_for_each(|t| {
+                    println!("==== {t} ====");
+                    run_target(t, &opts)
+                }),
                 t => run_target(t, &opts),
-            }
+            };
+            print_sim_summary();
+            outcome
         }
         Command::CacheStats => {
             let cache = ResultCache::open_default().map_err(|e| e.to_string())?;
@@ -250,6 +246,22 @@ fn execute(cmd: Command) -> Result<(), String> {
         }
         Command::Capture { opts } => capture(&opts),
         Command::Replay { opts } => replay(&opts),
+    }
+}
+
+/// Prints the simulation-throughput summary for everything this invocation
+/// executed. Goes to stderr (like progress lines) so tables and CSV on
+/// stdout stay clean; fully cached runs simulate nothing and print nothing.
+fn print_sim_summary() {
+    let t = campaign::context().totals();
+    if t.executed_jobs > 0 {
+        eprintln!(
+            "simulated {:.2} Mcycles across {} jobs in {:.1}s: {:.2} Mcyc/s",
+            t.sim_cycles as f64 / 1e6,
+            t.executed_jobs,
+            t.wall.as_secs_f64(),
+            t.cycles_per_second() / 1e6,
+        );
     }
 }
 

@@ -17,7 +17,7 @@ use crate::runner::RunResult;
 
 /// Magic first line of the payload; bump the version when the layout of
 /// [`RunResult`] changes so stale cache entries turn into misses.
-const MAGIC: &str = "# anoc-result v1";
+const MAGIC: &str = "# anoc-result v2";
 
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -44,6 +44,7 @@ pub fn encode_run_result(r: &RunResult) -> String {
     out.push('\n');
     out.push_str(&format!("mechanism {}\n", r.mechanism.name()));
     out.push_str(&format!("nodes {}\n", r.nodes));
+    out.push_str(&format!("total_cycles {}\n", r.total_cycles));
     out.push_str(&format!(
         "stats {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
         s.cycles,
@@ -111,6 +112,7 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
     }
     let mechanism = Mechanism::from_name(lines.next()?.strip_prefix("mechanism ")?)?;
     let nodes: usize = lines.next()?.strip_prefix("nodes ")?.parse().ok()?;
+    let total_cycles: u64 = lines.next()?.strip_prefix("total_cycles ")?.parse().ok()?;
     let st = parse_u64s::<13>(lines.next()?.strip_prefix("stats ")?)?;
     let en = parse_u64s::<6>(lines.next()?.strip_prefix("encode ")?)?;
 
@@ -196,6 +198,7 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
             cycles: activity_cycles,
         },
         nodes,
+        total_cycles,
     })
 }
 
@@ -243,6 +246,7 @@ mod tests {
             stats: NetStats::default(),
             activity: ActivityReport::default(),
             nodes: 0,
+            total_cycles: 0,
         };
         assert_roundtrip(&r);
     }
@@ -254,7 +258,7 @@ mod tests {
         let good = encode_run_result(&r);
         assert!(decode_run_result("").is_none());
         assert!(decode_run_result("garbage").is_none());
-        assert!(decode_run_result(&good.replace("v1", "v0")).is_none());
+        assert!(decode_run_result(&good.replace("v2", "v1")).is_none());
         let truncated = &good[..good.rfind("activity_cycles").expect("field present")];
         assert!(decode_run_result(truncated).is_none());
         let unknown = good.replace("mechanism FP-VAXX", "mechanism NO-SUCH");

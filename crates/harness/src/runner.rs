@@ -16,6 +16,10 @@ pub struct RunResult {
     pub activity: ActivityReport,
     /// Number of nodes simulated.
     pub nodes: usize,
+    /// Total simulated cycles (warmup + measurement + drain). Divided by
+    /// the host wall time this gives the simulator's cycles-per-second
+    /// throughput, which the campaign layer reports per job.
+    pub total_cycles: u64,
 }
 
 impl RunResult {
@@ -91,12 +95,12 @@ pub fn run_custom(
             }
         }
         sim.step();
-        sim.drain_delivered(); // keep the delivery buffer from growing
+        sim.discard_delivered(); // keep the delivery buffer from growing
     }
     // Stop offering traffic; let in-flight measured packets finish.
     sim.end_measurement();
     sim.drain(config.drain_cycles);
-    sim.drain_delivered();
+    sim.discard_delivered();
     sim.record_unfinished();
     let activity = sim.activity_report();
     let stats = sim.stats().clone();
@@ -105,6 +109,7 @@ pub fn run_custom(
         stats,
         activity,
         nodes,
+        total_cycles: sim.cycle(),
     }
 }
 

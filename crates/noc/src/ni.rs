@@ -11,8 +11,6 @@ use std::collections::VecDeque;
 
 use anoc_core::codec::{BlockDecoder, BlockEncoder};
 
-use crate::packet::PacketId;
-
 /// The encoder/decoder pair hosted by one NI.
 pub struct NodeCodec {
     /// The block encoder used for every data packet this node sends.
@@ -49,8 +47,9 @@ impl std::fmt::Debug for NodeCodec {
 /// Injection-side state of one NI.
 #[derive(Debug)]
 pub(crate) struct NiState {
-    /// FIFO of packets awaiting injection.
-    pub queue: VecDeque<PacketId>,
+    /// FIFO of packets awaiting injection, by slab slot in the simulator's
+    /// packet store.
+    pub queue: VecDeque<u32>,
     /// Credits for each VC of the router's local input port.
     pub vc_credits: Vec<u32>,
     /// VC carrying the packet currently being injected.

@@ -21,13 +21,15 @@ pub enum PacketKind {
     Data,
 }
 
-/// One flit in flight. Flits reference their packet; the payload itself
-/// travels in the packet table (the wire size is fully accounted by the
-/// packet's flit count).
+/// One flit in flight. Flits reference their packet by its dense slot in the
+/// simulator's slab packet store — not by the external [`PacketId`] — so the
+/// per-flit hot paths (injection, ejection) are plain array indexing. The
+/// payload itself travels in the packet table (the wire size is fully
+/// accounted by the packet's flit count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
-    /// Owning packet.
-    pub packet: PacketId,
+    /// Slab slot of the owning packet in the simulator's packet store.
+    pub slot: u32,
     /// Sequence number within the packet (0 = head).
     pub seq: u32,
     /// Whether this is the last flit of the packet.
@@ -129,7 +131,7 @@ mod tests {
     #[test]
     fn head_flit_detection() {
         let f = Flit {
-            packet: 1,
+            slot: 1,
             seq: 0,
             is_tail: false,
             dest: NodeId(3),

@@ -12,6 +12,17 @@ use std::collections::VecDeque;
 
 use crate::packet::Flit;
 
+/// `x mod m` for `x < 2m`: one compare instead of a hardware divide, which
+/// dominated the allocation loop's round-robin index arithmetic.
+#[inline(always)]
+fn wrap(x: usize, m: usize) -> usize {
+    if x >= m {
+        x - m
+    } else {
+        x
+    }
+}
+
 /// Where an output port's link lands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkDest {
@@ -68,16 +79,28 @@ impl VcState {
 #[derive(Debug, Clone)]
 struct InPort {
     vcs: Vec<VcState>,
+    /// Bitmask of VCs holding at least one flit, so allocation skips empty
+    /// ports in one branch and walks only occupied VCs.
+    occupied: u32,
     rr: usize,
     upstream: Option<Upstream>,
 }
 
-/// An output port: downstream link, per-VC credits and VC holders.
+/// One downstream VC's flow-control state: remaining credits and, while a
+/// wormhole holds the VC, the (input port, input VC) holding it. Credits and
+/// holders live side by side so the allocator's probe touches one cache
+/// line, not two heap blocks.
+#[derive(Debug, Clone, Copy)]
+struct OutVc {
+    credits: u32,
+    holder: Option<(u32, u32)>,
+}
+
+/// An output port: downstream link and per-VC flow-control state.
 #[derive(Debug, Clone)]
 struct OutPort {
     dest: LinkDest,
-    credits: Vec<u32>,
-    holder: Vec<Option<(usize, usize)>>,
+    vcs: Vec<OutVc>,
     vc_rr: usize,
     rr: usize,
 }
@@ -127,6 +150,18 @@ pub struct Router {
     id: usize,
     in_ports: Vec<InPort>,
     out_ports: Vec<OutPort>,
+    /// Flits currently held across all input VC buffers. Maintained so the
+    /// network can skip allocation for idle routers in O(1).
+    buffered: usize,
+    /// Per-call request scratch of [`Router::allocate`] (`in_port ->
+    /// (vc, out_port)`), hoisted here so the steady-state allocation loop
+    /// never touches the heap.
+    requests: Vec<Option<(usize, usize)>>,
+    /// Per-call scratch of [`Router::allocate`]: for each output port, a
+    /// bitmask of the input ports requesting it, so the grant phase costs
+    /// one rotate + trailing-zeros per output port instead of a scan over
+    /// every input port.
+    out_requests: Vec<u64>,
     activity: RouterActivity,
 }
 
@@ -134,11 +169,14 @@ impl Router {
     /// Builds a router with `ports` ports, `vcs` VCs of `vc_buffer` flits.
     /// Links and upstreams are wired afterwards by the network.
     pub fn new(id: usize, ports: usize, vcs: usize, vc_buffer: usize) -> Self {
+        assert!(ports <= 64, "request bitmasks hold at most 64 input ports");
+        assert!(vcs <= 32, "occupancy bitmasks hold at most 32 VCs");
         Router {
             id,
             in_ports: (0..ports)
                 .map(|_| InPort {
                     vcs: (0..vcs).map(|_| VcState::new()).collect(),
+                    occupied: 0,
                     rr: 0,
                     upstream: None,
                 })
@@ -146,12 +184,20 @@ impl Router {
             out_ports: (0..ports)
                 .map(|_| OutPort {
                     dest: LinkDest::Eject { node: usize::MAX },
-                    credits: vec![vc_buffer as u32; vcs],
-                    holder: vec![None; vcs],
+                    vcs: vec![
+                        OutVc {
+                            credits: vc_buffer as u32,
+                            holder: None,
+                        };
+                        vcs
+                    ],
                     vc_rr: 0,
                     rr: 0,
                 })
                 .collect(),
+            buffered: 0,
+            requests: vec![None; ports],
+            out_requests: vec![0; ports],
             activity: RouterActivity::default(),
         }
     }
@@ -161,15 +207,12 @@ impl Router {
         self.id
     }
 
-    /// Wires output port `port` to `dest`. Ejection ports get effectively
-    /// unbounded credits (the NI sinks one flit per cycle regardless).
+    /// Wires output port `port` to `dest`. Ejection ports are not credit
+    /// flow-controlled at all (the NI sinks one flit per cycle regardless):
+    /// [`Router::allocate`] skips the credit check and decrement for them, so
+    /// no finite counter can drain over a long-lived simulation.
     pub fn wire_output(&mut self, port: usize, dest: LinkDest) {
         self.out_ports[port].dest = dest;
-        if matches!(dest, LinkDest::Eject { .. }) {
-            for c in &mut self.out_ports[port].credits {
-                *c = u32::MAX / 2;
-            }
-        }
     }
 
     /// Declares who feeds input port `port`.
@@ -185,24 +228,38 @@ impl Router {
     /// be a flow-control bug, not a runtime condition.
     pub fn accept_flit(&mut self, port: usize, vc: usize, flit: Flit) {
         self.activity.buffer_writes += 1;
-        self.in_ports[port].vcs[vc].buf.push_back(flit);
+        self.buffered += 1;
+        let p = &mut self.in_ports[port];
+        p.occupied |= 1 << vc;
+        p.vcs[vc].buf.push_back(flit);
+    }
+
+    /// Whether every input VC buffer is empty — an idle router's allocation
+    /// cycle is a guaranteed no-op, so the network skips it entirely.
+    pub fn is_idle(&self) -> bool {
+        self.buffered == 0
     }
 
     /// Returns one credit for output port `port`, VC `vc`.
     pub fn return_credit(&mut self, port: usize, vc: usize) {
         let out = &mut self.out_ports[port];
         if !matches!(out.dest, LinkDest::Eject { .. }) {
-            out.credits[vc] += 1;
+            out.vcs[vc].credits += 1;
         }
     }
 
     /// Buffered flit count across all input VCs (for drain detection).
     pub fn occupancy(&self) -> usize {
-        self.in_ports
-            .iter()
-            .flat_map(|p| p.vcs.iter())
-            .map(|v| v.buf.len())
-            .sum()
+        debug_assert_eq!(
+            self.buffered,
+            self.in_ports
+                .iter()
+                .flat_map(|p| p.vcs.iter())
+                .map(|v| v.buf.len())
+                .sum::<usize>(),
+            "buffered counter out of sync with the VC buffers"
+        );
+        self.buffered
     }
 
     /// Accumulated event counters.
@@ -210,112 +267,165 @@ impl Router {
         self.activity
     }
 
-    /// One allocation cycle: VA + SA over all ports, returning the granted
-    /// switch traversals. `route_of` maps a head flit's destination to an
-    /// output port (RC). At most one grant per input port and per output
-    /// port (a single-crossbar, separable allocator with round-robin
-    /// priorities).
-    pub fn allocate(&mut self, now: u64, route_of: impl Fn(&Flit) -> usize) -> Vec<Traversal> {
-        let num_in = self.in_ports.len();
-        let num_vcs = self
-            .in_ports
-            .first()
-            .map(|p| p.vcs.len())
-            .unwrap_or_default();
+    /// One allocation cycle: VA + SA over all ports, appending the granted
+    /// switch traversals to `grants` (a caller-owned scratch buffer, so the
+    /// steady-state loop never allocates). `route_of` maps a head flit's
+    /// destination to an output port (RC). At most one grant per input port
+    /// and per output port (a single-crossbar, separable allocator with
+    /// round-robin priorities).
+    pub fn allocate(
+        &mut self,
+        now: u64,
+        route_of: impl Fn(&Flit) -> usize,
+        grants: &mut Vec<Traversal>,
+    ) {
+        if self.buffered == 0 {
+            return;
+        }
+        // Destructure for split borrows: the nomination loop walks input
+        // ports while probing output-port credits and holders, and indexed
+        // re-lookups of `self` on every probe dominated the profile.
+        let Router {
+            in_ports,
+            out_ports,
+            requests,
+            out_requests,
+            activity,
+            buffered,
+            ..
+        } = self;
+        let num_in = in_ports.len();
+        let num_vcs = in_ports.first().map(|p| p.vcs.len()).unwrap_or_default();
         // Phase 1 — each input port nominates one (vc, out_port) request.
-        let mut requests: Vec<Option<(usize, usize)>> = vec![None; num_in]; // in_port -> (vc, out_port)
-        #[allow(clippy::needless_range_loop)] // ip indexes two parallel port arrays
-        for ip in 0..num_in {
-            let start = self.in_ports[ip].rr;
-            for k in 0..num_vcs {
-                let v = (start + k) % num_vcs;
+        requests.iter_mut().for_each(|r| *r = None);
+        out_requests.iter_mut().for_each(|m| *m = 0);
+        let mut any_request = false;
+        let vc_mask = u32::MAX >> (32 - num_vcs as u32);
+        for (ip, port) in in_ports.iter_mut().enumerate() {
+            if port.occupied == 0 {
+                continue;
+            }
+            let start = port.rr;
+            // Walk only the occupied VCs, in round-robin order from `rr`:
+            // rotate the occupancy mask so bit position encodes priority,
+            // then peel set bits lowest-first. Empty VCs were skipped by the
+            // previous linear scan too, so the probe order is unchanged.
+            let mut rot = if start == 0 {
+                port.occupied
+            } else {
+                ((port.occupied >> start) | (port.occupied << (num_vcs - start))) & vc_mask
+            };
+            while rot != 0 {
+                let v = wrap(start + rot.trailing_zeros() as usize, num_vcs);
+                rot &= rot - 1;
                 // Inspect the head-of-line flit of this VC.
-                let Some(&flit) = self.in_ports[ip].vcs[v].buf.front() else {
-                    continue;
-                };
+                let vc = &mut port.vcs[v];
+                let flit = *vc.buf.front().expect("occupied VC has a flit");
                 if flit.ready_at > now {
                     continue;
                 }
                 // RC: resolve output port for a new packet.
-                if self.in_ports[ip].vcs[v].out_port.is_none() {
-                    debug_assert!(flit.is_head(), "body flit without an allocated route");
-                    let op = route_of(&flit);
-                    self.in_ports[ip].vcs[v].out_port = Some(op);
-                }
-                let op = self.in_ports[ip].vcs[v].out_port.expect("just set");
-                // VA: obtain an output VC if the packet does not hold one.
-                if self.in_ports[ip].vcs[v].out_vc.is_none() {
-                    let granted = self.try_vc_alloc(op, ip, v);
-                    if granted.is_none() {
-                        continue; // no free downstream VC; try another input VC
+                let op = match vc.out_port {
+                    Some(op) => op,
+                    None => {
+                        debug_assert!(flit.is_head(), "body flit without an allocated route");
+                        let op = route_of(&flit);
+                        vc.out_port = Some(op);
+                        op
                     }
-                    self.in_ports[ip].vcs[v].out_vc = granted;
-                    self.activity.vc_allocs += 1;
-                }
-                let ovc = self.in_ports[ip].vcs[v].out_vc.expect("allocated above");
-                // Credit check (ST needs a downstream buffer slot).
-                if self.out_ports[op].credits[ovc] == 0 {
+                };
+                let out = &mut out_ports[op];
+                let eject = matches!(out.dest, LinkDest::Eject { .. });
+                // VA: obtain an output VC if the packet does not hold one.
+                // Ejection ports never serialise packets onto a single VC —
+                // the NI reassembles per packet — so they grant the input's
+                // own VC unconditionally.
+                let ovc = match vc.out_vc {
+                    Some(ovc) => ovc,
+                    None => {
+                        let granted = if eject {
+                            Some(v)
+                        } else {
+                            let n = out.vcs.len();
+                            let vstart = out.vc_rr;
+                            (0..n).map(|j| wrap(vstart + j, n)).find(|&ov| {
+                                if out.vcs[ov].holder.is_none() {
+                                    out.vcs[ov].holder = Some((ip as u32, v as u32));
+                                    out.vc_rr = wrap(ov + 1, n);
+                                    true
+                                } else {
+                                    false
+                                }
+                            })
+                        };
+                        let Some(granted) = granted else {
+                            continue; // no free downstream VC; try another input VC
+                        };
+                        vc.out_vc = Some(granted);
+                        activity.vc_allocs += 1;
+                        granted
+                    }
+                };
+                // Credit check (ST needs a downstream buffer slot). Ejection
+                // is not credit flow-controlled: the NI sinks a flit per
+                // cycle, so eject grants neither check nor spend credits.
+                if !eject && out.vcs[ovc].credits == 0 {
                     continue;
                 }
                 requests[ip] = Some((v, op));
+                out_requests[op] |= 1u64 << ip;
+                any_request = true;
                 break;
             }
         }
-        // Phase 2 — each output port grants one requesting input port.
-        let mut grants: Vec<Traversal> = Vec::new();
-        for op in 0..self.out_ports.len() {
-            let start = self.out_ports[op].rr;
-            let winner = (0..num_in)
-                .map(|k| (start + k) % num_in)
-                .find(|&ip| matches!(requests[ip], Some((_, p)) if p == op));
-            let Some(ip) = winner else { continue };
-            let (v, _) = requests[ip].take().expect("winner had a request");
-            let vc_state = &mut self.in_ports[ip].vcs[v];
+        if !any_request {
+            return;
+        }
+        // Phase 2 — each output port grants one requesting input port: the
+        // round-robin winner is the first set bit of the request mask
+        // rotated to start at the port's priority pointer.
+        for (op, out_port) in out_ports.iter_mut().enumerate() {
+            let mask = out_requests[op];
+            if mask == 0 {
+                continue;
+            }
+            let start = out_port.rr;
+            let rot = if start == 0 {
+                mask
+            } else {
+                (mask >> start) | (mask << (num_in - start))
+            };
+            let ip = wrap(start + rot.trailing_zeros() as usize, num_in);
+            let (v, _) = requests[ip].take().expect("masked input had a request");
+            let in_port = &mut in_ports[ip];
+            let vc_state = &mut in_port.vcs[v];
             let flit = vc_state.buf.pop_front().expect("nominated VC has a flit");
+            *buffered -= 1;
             let ovc = vc_state.out_vc.expect("granted packets hold an output VC");
             if flit.is_tail {
                 // Release the wormhole: route and output VC free up.
                 vc_state.out_port = None;
                 vc_state.out_vc = None;
-                self.out_ports[op].holder[ovc] = None;
+                out_port.vcs[ovc].holder = None;
             }
-            self.out_ports[op].credits[ovc] -= 1;
-            self.activity.buffer_reads += 1;
-            self.activity.crossbar_traversals += 1;
-            if matches!(self.out_ports[op].dest, LinkDest::Router { .. }) {
-                self.activity.link_traversals += 1;
+            if vc_state.buf.is_empty() {
+                in_port.occupied &= !(1 << v);
             }
-            self.in_ports[ip].rr = (v + 1) % num_vcs;
-            self.out_ports[op].rr = (ip + 1) % num_in;
+            if matches!(out_port.dest, LinkDest::Router { .. }) {
+                out_port.vcs[ovc].credits -= 1;
+                activity.link_traversals += 1;
+            }
+            activity.buffer_reads += 1;
+            activity.crossbar_traversals += 1;
+            in_port.rr = wrap(v + 1, num_vcs);
+            out_port.rr = wrap(ip + 1, num_in);
             grants.push(Traversal {
                 flit,
-                dest: self.out_ports[op].dest,
+                dest: out_port.dest,
                 out_vc: ovc,
-                credit_to: self.in_ports[ip].upstream.map(|u| (u, v)),
+                credit_to: in_port.upstream.map(|u| (u, v)),
             });
         }
-        grants
-    }
-
-    /// Tries to allocate a free output VC at `op` for input `(ip, iv)`.
-    /// Ejection ports never serialise packets onto a single VC — the NI
-    /// reassembles per packet id — so they always grant the input's own VC.
-    fn try_vc_alloc(&mut self, op: usize, ip: usize, iv: usize) -> Option<usize> {
-        let out = &mut self.out_ports[op];
-        if matches!(out.dest, LinkDest::Eject { .. }) {
-            return Some(iv);
-        }
-        let n = out.holder.len();
-        let start = out.vc_rr;
-        for k in 0..n {
-            let v = (start + k) % n;
-            if out.holder[v].is_none() {
-                out.holder[v] = Some((ip, iv));
-                out.vc_rr = (v + 1) % n;
-                return Some(v);
-            }
-        }
-        None
     }
 }
 
@@ -324,9 +434,9 @@ mod tests {
     use super::*;
     use anoc_core::data::NodeId;
 
-    fn flit(pid: u64, seq: u32, tail: bool, ready: u64) -> Flit {
+    fn flit(pid: u32, seq: u32, tail: bool, ready: u64) -> Flit {
         Flit {
-            packet: pid,
+            slot: pid,
             seq,
             is_tail: tail,
             dest: NodeId(0),
@@ -342,16 +452,23 @@ mod tests {
         r
     }
 
+    /// Collects one allocation cycle's grants into a fresh vector.
+    fn allocate(r: &mut Router, now: u64, route_of: impl Fn(&Flit) -> usize) -> Vec<Traversal> {
+        let mut grants = Vec::new();
+        r.allocate(now, route_of, &mut grants);
+        grants
+    }
+
     #[test]
     fn single_flit_traverses_after_pipeline_delay() {
         let mut r = test_router();
         r.accept_flit(0, 0, flit(1, 0, true, 1));
         // Not ready at cycle 0.
-        assert!(r.allocate(0, |_| 1).is_empty());
-        let grants = r.allocate(1, |_| 1);
+        assert!(allocate(&mut r, 0, |_| 1).is_empty());
+        let grants = allocate(&mut r, 1, |_| 1);
         assert_eq!(grants.len(), 1);
         let t = grants[0];
-        assert_eq!(t.flit.packet, 1);
+        assert_eq!(t.flit.slot, 1);
         assert!(matches!(t.dest, LinkDest::Router { router: 1, port: 3 }));
         assert!(matches!(
             t.credit_to,
@@ -370,12 +487,12 @@ mod tests {
         }
         let mut sent = 0;
         for now in 1..=4 {
-            sent += r.allocate(now, |_| 1).len();
+            sent += allocate(&mut r, now, |_| 1).len();
         }
         assert_eq!(sent, 4);
-        assert!(r.allocate(5, |_| 1).is_empty(), "no credit left");
+        assert!(allocate(&mut r, 5, |_| 1).is_empty(), "no credit left");
         r.return_credit(1, 0);
-        assert_eq!(r.allocate(6, |_| 1).len(), 1);
+        assert_eq!(allocate(&mut r, 6, |_| 1).len(), 1);
     }
 
     #[test]
@@ -384,23 +501,23 @@ mod tests {
         // Packet A (head, not tail) on vc 0 grabs an output VC and keeps it.
         r.accept_flit(0, 0, flit(1, 0, false, 0));
         r.accept_flit(0, 1, flit(2, 0, true, 0));
-        let g1 = r.allocate(1, |_| 1);
+        let g1 = allocate(&mut r, 1, |_| 1);
         assert_eq!(g1.len(), 1);
-        assert_eq!(g1[0].flit.packet, 1);
+        assert_eq!(g1[0].flit.slot, 1);
         let vc_a = g1[0].out_vc;
         // Packet B must get a *different* output VC.
-        let g2 = r.allocate(2, |_| 1);
+        let g2 = allocate(&mut r, 2, |_| 1);
         assert_eq!(g2.len(), 1);
-        assert_eq!(g2[0].flit.packet, 2);
+        assert_eq!(g2[0].flit.slot, 2);
         assert_ne!(g2[0].out_vc, vc_a);
         // A's tail arrives and releases the VC.
         r.accept_flit(0, 0, flit(1, 1, true, 2));
-        let g3 = r.allocate(3, |_| 1);
+        let g3 = allocate(&mut r, 3, |_| 1);
         assert_eq!(g3.len(), 1);
         assert_eq!(g3[0].out_vc, vc_a);
         // Now both output VCs are free again.
         r.accept_flit(0, 0, flit(3, 0, true, 3));
-        let g4 = r.allocate(4, |_| 1);
+        let g4 = allocate(&mut r, 4, |_| 1);
         assert_eq!(g4.len(), 1);
     }
 
@@ -410,11 +527,30 @@ mod tests {
         // Two inputs contending for out port 1.
         r.accept_flit(0, 0, flit(1, 0, true, 0));
         r.accept_flit(1, 0, flit(2, 0, true, 0));
-        let g1 = r.allocate(1, |_| 1);
+        let g1 = allocate(&mut r, 1, |_| 1);
         assert_eq!(g1.len(), 1);
-        let g2 = r.allocate(2, |_| 1);
+        let g2 = allocate(&mut r, 2, |_| 1);
         assert_eq!(g2.len(), 1);
-        assert_ne!(g1[0].flit.packet, g2[0].flit.packet, "round-robin rotates");
+        assert_ne!(g1[0].flit.slot, g2[0].flit.slot, "round-robin rotates");
+    }
+
+    #[test]
+    fn ejection_needs_no_credits() {
+        // Ejection ports have no downstream buffer to run out of — the NI
+        // consumes flits as they arrive — so far more flits than any VC
+        // buffer must flow out without a single credit ever returning.
+        let mut r = test_router();
+        for seq in 0..20 {
+            r.accept_flit(0, 0, flit(1, seq, seq == 19, seq as u64));
+        }
+        let mut sent = 0;
+        for now in 1..=30 {
+            sent += allocate(&mut r, now, |_| 2).len();
+        }
+        assert_eq!(sent, 20);
+        assert_eq!(r.occupancy(), 0);
+        assert_eq!(r.activity().crossbar_traversals, 20);
+        assert_eq!(r.activity().link_traversals, 0, "ejection is not a link");
     }
 
     #[test]
@@ -423,11 +559,11 @@ mod tests {
         // Two in-progress packets hold both output VCs of port 1.
         r.accept_flit(0, 0, flit(1, 0, false, 0));
         r.accept_flit(0, 1, flit(2, 0, false, 0));
-        assert_eq!(r.allocate(1, |_| 1).len(), 1);
-        assert_eq!(r.allocate(2, |_| 1).len(), 1);
+        assert_eq!(allocate(&mut r, 1, |_| 1).len(), 1);
+        assert_eq!(allocate(&mut r, 2, |_| 1).len(), 1);
         // A third packet from another input port finds no free VC.
         r.accept_flit(1, 0, flit(3, 0, false, 0));
-        assert!(r.allocate(3, |_| 1).is_empty());
+        assert!(allocate(&mut r, 3, |_| 1).is_empty());
         assert_eq!(r.activity().vc_allocs, 2);
     }
 
@@ -439,7 +575,7 @@ mod tests {
         r.accept_flit(1, 0, flit(3, 0, false, 0));
         let mut got = 0;
         for now in 1..=4 {
-            got += r.allocate(now, |_| 2).len();
+            got += allocate(&mut r, now, |_| 2).len();
         }
         assert_eq!(got, 3, "eject port never runs out of VCs or credits");
     }
@@ -448,7 +584,7 @@ mod tests {
     fn activity_counters() {
         let mut r = test_router();
         r.accept_flit(0, 0, flit(1, 0, true, 0));
-        r.allocate(1, |_| 1);
+        allocate(&mut r, 1, |_| 1);
         let a = r.activity();
         assert_eq!(a.buffer_writes, 1);
         assert_eq!(a.buffer_reads, 1);

@@ -13,6 +13,11 @@
 //! A flit written at cycle `a` is allocation-eligible at `a+1` and lands
 //! downstream at `g+2` after a grant at `g` — the three-stage router of
 //! Table 1.
+//!
+//! The kernel is allocation-free at steady state: packets live in a slab
+//! indexed by the dense slot carried on every flit, the event ring and the
+//! allocation scratch vectors are reused across cycles, and only routers
+//! with buffered flits are visited (see DESIGN.md).
 
 use std::collections::HashMap;
 
@@ -44,10 +49,19 @@ pub struct NocSim {
     routers: Vec<Router>,
     nis: Vec<NiState>,
     codecs: Vec<NodeCodec>,
-    packets: HashMap<PacketId, PacketState>,
+    /// Slab packet store: flits carry their packet's slot, so the per-flit
+    /// hot paths are plain indexing. Freed slots are recycled via
+    /// `free_slots`; external [`PacketId`]s stay monotonic regardless.
+    packets: Vec<Option<PacketState>>,
+    free_slots: Vec<u32>,
+    live_packets: usize,
     next_pid: PacketId,
     cycle: u64,
     events: Vec<Vec<Arrival>>,
+    /// Persistent scratch for the per-cycle allocation grants.
+    outgoing: Vec<Traversal>,
+    /// Routers that may hold buffered flits; idle routers are skipped.
+    active: Vec<bool>,
     delivered: Vec<Delivered>,
     stats: NetStats,
     measuring: bool,
@@ -59,7 +73,7 @@ impl std::fmt::Debug for NocSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NocSim")
             .field("cycle", &self.cycle)
-            .field("outstanding", &self.packets.len())
+            .field("outstanding", &self.live_packets)
             .field("nodes", &self.mesh.num_nodes())
             .finish()
     }
@@ -116,16 +130,21 @@ impl NocSim {
         let nis = (0..mesh.num_nodes())
             .map(|_| NiState::new(config.vcs, config.vc_buffer))
             .collect();
+        let num_routers = routers.len();
         NocSim {
             config,
             mesh,
             routers,
             nis,
             codecs,
-            packets: HashMap::new(),
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            live_packets: 0,
             next_pid: 0,
             cycle: 0,
             events: (0..EVENT_HORIZON).map(|_| Vec::new()).collect(),
+            outgoing: Vec::new(),
+            active: vec![false; num_routers],
             delivered: Vec::new(),
             stats: NetStats::default(),
             measuring: true,
@@ -180,13 +199,13 @@ impl NocSim {
 
     /// Packets created but not yet fully delivered.
     pub fn outstanding_packets(&self) -> usize {
-        self.packets.len()
+        self.live_packets
     }
 
     /// Measured packets still undelivered (reported as `unfinished` so a
     /// saturated run never silently drops them from the statistics).
     pub fn record_unfinished(&mut self) {
-        self.stats.unfinished = self.packets.values().filter(|p| p.measured).count() as u64;
+        self.stats.unfinished = self.packets.iter().flatten().filter(|p| p.measured).count() as u64;
     }
 
     /// Number of packets waiting in `node`'s injection queue.
@@ -200,7 +219,7 @@ impl NocSim {
     pub fn begin_measurement(&mut self) {
         self.stats = NetStats::default();
         self.measuring = true;
-        for p in self.packets.values_mut() {
+        for p in self.packets.iter_mut().flatten() {
             p.measured = false;
         }
     }
@@ -230,15 +249,14 @@ impl NocSim {
         }
         let va_credit = u64::from(self.config.va_overlap);
         let comp_exposed = comp_latency.saturating_sub(va_credit);
-        // With latency hiding, compression overlaps the queue wait: only a
-        // packet arriving at an empty NI pays it. Without hiding it is paid
-        // at the queue head, serialized with injection (§4.3).
+        // With latency hiding, compression starts at creation and overlaps
+        // the queue wait — but the residual cycles past the VA-overlap
+        // credit gate injectability regardless of queue depth: a short
+        // queue cannot absorb latency that has not elapsed yet (§4.3).
+        // Without hiding, the latency is paid at the queue head, serialized
+        // with injection.
         let (exposed, head_gate) = if self.config.hide_compression {
-            if self.nis[src.index()].queue.is_empty() {
-                (comp_exposed, 0)
-            } else {
-                (0, 0)
-            }
+            (comp_exposed, 0)
         } else {
             (0, comp_exposed)
         };
@@ -292,8 +310,18 @@ impl NocSim {
         p.id = id;
         let src = p.src;
         let created = p.created;
-        self.packets.insert(id, p);
-        self.nis[src.index()].queue.push_back(id);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.packets[s as usize] = Some(p);
+                s
+            }
+            None => {
+                self.packets.push(Some(p));
+                (self.packets.len() - 1) as u32
+            }
+        };
+        self.live_packets += 1;
+        self.nis[src.index()].queue.push_back(slot);
         self.record_trace(id, created, TraceEvent::Created);
         id
     }
@@ -301,48 +329,63 @@ impl NocSim {
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
-        // Phase 1 — link arrivals (BW, or ejection).
-        let due = std::mem::take(&mut self.events[(now % EVENT_HORIZON as u64) as usize]);
-        for arrival in due {
+        // Phase 1 — link arrivals (BW, or ejection). The due ring slot is
+        // swapped out and restored after draining so its capacity is
+        // reused; this is safe because `schedule` only ever targets future
+        // slots (`now+1..now+EVENT_HORIZON`), never the current one.
+        let ring = (now % EVENT_HORIZON as u64) as usize;
+        let mut due = std::mem::take(&mut self.events[ring]);
+        for arrival in due.drain(..) {
             match arrival.target {
                 LinkDest::Router { router, port } => {
                     let mut flit = arrival.flit;
                     flit.ready_at = now + 1;
-                    if flit.is_head() {
-                        self.record_trace(flit.packet, now, TraceEvent::RouterArrival { router });
+                    if self.tracing && flit.is_head() {
+                        let id = self.packets[flit.slot as usize]
+                            .as_ref()
+                            .expect("flit of a live packet")
+                            .id;
+                        self.record_trace(id, now, TraceEvent::RouterArrival { router });
                     }
                     self.routers[router].accept_flit(port, arrival.vc, flit);
+                    self.active[router] = true;
                 }
                 LinkDest::Eject { node } => self.eject_flit(node, arrival.flit, now),
             }
         }
-        // Phase 2 — router allocation.
-        let mut credits: Vec<(Upstream, usize, usize)> = Vec::new(); // (who, port hint, vc)
-        let mut outgoing: Vec<Traversal> = Vec::new();
+        self.events[ring] = due;
+        // Phase 2 — router allocation, idle routers skipped. Grants land in
+        // a persistent scratch vector; credits are returned only after
+        // every router has allocated, so allocation order cannot observe
+        // same-cycle credits.
+        let mut outgoing = std::mem::take(&mut self.outgoing);
         for r in 0..self.routers.len() {
+            if !self.active[r] {
+                continue;
+            }
             let mesh = &self.mesh;
             let rid = self.routers[r].id();
-            let grants = self.routers[r].allocate(now, |flit| mesh.route_xy(rid, flit.dest));
-            for t in grants {
-                if let Some((upstream, vc)) = t.credit_to {
-                    credits.push((upstream, 0, vc));
-                }
-                outgoing.push(t);
+            self.routers[r].allocate(now, |flit| mesh.route_xy(rid, flit.dest), &mut outgoing);
+            if self.routers[r].is_idle() {
+                self.active[r] = false;
             }
         }
-        for t in outgoing {
+        for t in &outgoing {
             self.schedule(now + 2, t.dest, t.out_vc, t.flit);
         }
-        for (upstream, _, vc) in credits {
-            match upstream {
-                Upstream::Router { router, port } => {
-                    self.routers[router].return_credit(port, vc);
-                }
-                Upstream::Local { node } => {
-                    self.nis[node].vc_credits[vc] += 1;
+        for t in outgoing.drain(..) {
+            if let Some((upstream, vc)) = t.credit_to {
+                match upstream {
+                    Upstream::Router { router, port } => {
+                        self.routers[router].return_credit(port, vc);
+                    }
+                    Upstream::Local { node } => {
+                        self.nis[node].vc_credits[vc] += 1;
+                    }
                 }
             }
         }
+        self.outgoing = outgoing;
         // Phase 3 — NI injection.
         for node in 0..self.nis.len() {
             self.inject_from(node, now);
@@ -365,17 +408,25 @@ impl NocSim {
     pub fn drain(&mut self, max_cycles: u64) -> bool {
         let deadline = self.cycle + max_cycles;
         while self.cycle < deadline {
-            if self.packets.is_empty() {
+            if self.live_packets == 0 {
                 return true;
             }
             self.step();
         }
-        self.packets.is_empty()
+        self.live_packets == 0
     }
 
     /// Takes the packets delivered since the last call.
     pub fn drain_delivered(&mut self) -> Vec<Delivered> {
         std::mem::take(&mut self.delivered)
+    }
+
+    /// Discards the delivered-packet log accumulated since the last drain,
+    /// keeping its capacity. Hot loops that never inspect deliveries call
+    /// this instead of [`NocSim::drain_delivered`] so the log does not
+    /// reallocate every cycle.
+    pub fn discard_delivered(&mut self) {
+        self.delivered.clear();
     }
 
     /// Aggregate hardware activity (routers + codecs) for the power model.
@@ -409,63 +460,60 @@ impl NocSim {
     }
 
     fn inject_from(&mut self, node: usize, now: u64) {
-        let Some(&pid) = self.nis[node].queue.front() else {
+        // One NI borrow and one slab lookup for the whole attempt — this
+        // runs for every node every cycle, so repeated indexed re-lookups
+        // showed up in the steady-state profile.
+        let ni = &mut self.nis[node];
+        let Some(&slot) = ni.queue.front() else {
             return;
         };
+        let slot = slot as usize;
+        let p = self.packets[slot].as_mut().expect("queued packet exists");
         // Unhidden compression: pay the remaining latency now that the
         // packet has reached the queue head.
-        if self.nis[node].next_seq == 0 {
-            let p = self.packets.get_mut(&pid).expect("queued packet exists");
-            if p.head_gate > 0 {
-                p.ready_at = p.ready_at.max(now + p.head_gate);
-                p.head_gate = 0;
-                return;
-            }
+        if ni.next_seq == 0 && p.head_gate > 0 {
+            p.ready_at = p.ready_at.max(now + p.head_gate);
+            p.head_gate = 0;
+            return;
         }
-        let ready = self.packets[&pid].ready_at;
-        if ready > now {
+        if p.ready_at > now {
             return;
         }
         // Head flit needs a VC with a credit; body flits continue on the
         // packet's VC and just need a credit.
-        let vc = match self.nis[node].cur_vc {
+        let vc = match ni.cur_vc {
             Some(v) => {
-                if self.nis[node].vc_credits[v] == 0 {
+                if ni.vc_credits[v] == 0 {
                     return;
                 }
                 v
             }
-            None => match self.nis[node].pick_vc() {
+            None => match ni.pick_vc() {
                 Some(v) => v,
                 None => return,
             },
         };
-        let (seq, flit, done) = {
-            let p = self.packets.get_mut(&pid).expect("queued packet exists");
-            let seq = self.nis[node].next_seq;
-            if seq == 0 {
-                p.inject_start = Some(now);
-            }
-            let _ = seq;
-            let is_tail = seq + 1 == p.num_flits;
-            (
-                seq,
-                Flit {
-                    packet: pid,
-                    seq,
-                    is_tail,
-                    dest: p.dest,
-                    ready_at: 0, // set at arrival
-                },
-                is_tail,
-            )
+        let seq = ni.next_seq;
+        if seq == 0 {
+            p.inject_start = Some(now);
+        }
+        let is_tail = seq + 1 == p.num_flits;
+        let flit = Flit {
+            slot: slot as u32,
+            seq,
+            is_tail,
+            dest: p.dest,
+            ready_at: 0, // set at arrival
         };
-        let _ = seq;
-        let ni = &mut self.nis[node];
+        let pid = p.id;
+        let measured = p.measured;
+        let kind = p.kind;
+        let num_flits = p.num_flits;
+        let baseline_flits = p.baseline_flits;
         ni.vc_credits[vc] -= 1;
         ni.cur_vc = Some(vc);
         ni.next_seq += 1;
-        if done {
+        if is_tail {
             ni.queue.pop_front();
             ni.cur_vc = None;
             ni.next_seq = 0;
@@ -480,14 +528,13 @@ impl NocSim {
         // baseline equivalent) are committed at tail injection so a drain
         // cutoff can never split a packet across the two sides of the
         // Figure 11 normalization.
-        let p = &self.packets[&pid];
-        if p.measured {
+        if measured {
             self.stats.flits_injected += 1;
-            if flit.is_tail {
-                match p.kind {
+            if is_tail {
+                match kind {
                     PacketKind::Data => {
-                        self.stats.data_flits_injected += p.num_flits as u64;
-                        self.stats.baseline_data_flits += p.baseline_flits as u64;
+                        self.stats.data_flits_injected += num_flits as u64;
+                        self.stats.baseline_data_flits += baseline_flits as u64;
                     }
                     PacketKind::Control => self.stats.control_flits_injected += 1,
                 }
@@ -496,11 +543,14 @@ impl NocSim {
     }
 
     fn eject_flit(&mut self, node: usize, flit: Flit, now: u64) {
-        let Some(p) = self.packets.get_mut(&flit.packet) else {
-            panic!("flit for unknown packet {}", flit.packet);
-        };
+        let slot = flit.slot as usize;
+        let p = self.packets[slot].as_mut().expect("flit of a live packet");
         p.ejected_flits += 1;
-        if self.measuring && p.measured {
+        // A packet created inside the measurement window keeps counting
+        // after `end_measurement()`: the drain phase delivers the window's
+        // tail, and gating on the window still being open would undercount
+        // exactly those flits.
+        if p.measured {
             self.stats.flits_delivered += 1;
         }
         if !flit.is_tail {
@@ -510,8 +560,10 @@ impl NocSim {
             p.ejected_flits, p.num_flits,
             "tail arrived before all body flits (per-VC FIFO violated)"
         );
-        self.record_trace(flit.packet, now, TraceEvent::Ejected);
-        let p = self.packets.remove(&flit.packet).expect("checked above");
+        let p = self.packets[slot].take().expect("checked above");
+        self.free_slots.push(flit.slot);
+        self.live_packets -= 1;
+        self.record_trace(p.id, now, TraceEvent::Ejected);
         self.complete_packet(p, node, now);
     }
 

@@ -6,6 +6,7 @@
 use anoc_compression::di::{DiConfig, DiDecoder, DiEncoder};
 use anoc_core::avcl::Avcl;
 use anoc_core::data::{CacheBlock, NodeId};
+use anoc_core::rng::Pcg32;
 use anoc_core::threshold::ErrorThreshold;
 use anoc_noc::{NocConfig, NocSim, NodeCodec, PacketKind};
 
@@ -140,6 +141,68 @@ fn queue_overlap_hides_compression_under_backlog() {
 }
 
 #[test]
+fn drain_phase_deliveries_still_count() {
+    // A packet created inside the measurement window but delivered after
+    // `end_measurement()` (the standard warmup/measure/drain methodology)
+    // must still contribute its delivered flits. Gating delivery accounting
+    // on the window being open undercounts exactly the window's tail.
+    let config = NocConfig::mesh_3x3();
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, (0..nodes).map(|_| NodeCodec::baseline()).collect());
+    sim.begin_measurement();
+    sim.enqueue_data(NodeId(0), NodeId(8), CacheBlock::from_i32(&[3; 16]));
+    sim.run(2); // still in flight
+    sim.end_measurement();
+    assert!(sim.drain(10_000));
+    let s = sim.stats();
+    assert_eq!(s.packets, 1);
+    assert_eq!(s.flits_injected, 9);
+    assert_eq!(
+        s.flits_delivered, s.flits_injected,
+        "measured flits delivered during the drain phase must count"
+    );
+}
+
+#[test]
+fn short_queue_cannot_absorb_compression_latency() {
+    // §4.3: with latency hiding, compression overlaps the queue wait — but
+    // a packet behind a short queue still pays the residual compression
+    // cycles that have not elapsed by the time it reaches the queue head.
+    // A 1-deep queue shifts the overlap window; it does not erase it.
+    let mut config = NocConfig::mesh_3x3();
+    config.hide_compression = true;
+    config.va_overlap = false;
+    let nodes = config.num_nodes();
+    let t = ErrorThreshold::from_percent(10).expect("valid");
+    let codecs = (0..nodes)
+        .map(|_| {
+            NodeCodec::new(
+                Box::new(anoc_compression::fp::FpEncoder::fp_vaxx(Avcl::new(t))),
+                Box::new(anoc_compression::fp::FpDecoder::new()),
+            )
+        })
+        .collect();
+    let mut sim = NocSim::new(config, codecs);
+    sim.enable_tracing();
+    // A single-flit control packet ahead: the data packet reaches the queue
+    // head after ~2 cycles, well before its 3 compression cycles elapse.
+    sim.enqueue_control(NodeId(0), NodeId(8));
+    let pid = sim.enqueue_data(NodeId(0), NodeId(8), CacheBlock::from_i32(&[7; 16]));
+    assert!(sim.drain(10_000));
+    let trace = sim.trace(pid).expect("tracing enabled");
+    let injected = trace
+        .iter()
+        .find(|(_, e)| *e == anoc_noc::packet::TraceEvent::Injected)
+        .expect("packet was injected")
+        .0;
+    let comp = 3; // FP encoder compression latency (no VA-overlap credit)
+    assert!(
+        injected >= comp,
+        "data packet injected at {injected}, before its {comp} compression cycles elapsed"
+    );
+}
+
+#[test]
 fn switch_allocation_is_fair_under_contention() {
     // Three nodes hammer one destination; per-source delivered counts should
     // be within a reasonable band of each other (round-robin arbitration).
@@ -170,6 +233,101 @@ fn switch_allocation_is_fair_under_contention() {
     assert!(
         max - min <= max / 3 + 2,
         "unfair delivery counts: {counts:?}"
+    );
+}
+
+/// Runs a fixed uniform-random workload (baseline codecs, warmup +
+/// measurement + full drain inside the measurement window) and renders every
+/// statistic and activity counter into one string. The workload deliberately
+/// avoids the paths whose accounting the measurement-window and
+/// latency-hiding fixes intentionally changed (no `end_measurement()` before
+/// draining, zero-latency codecs), so the fingerprint pins the *kernel*:
+/// any slab/scratch-buffer/worklist refactor must reproduce it bit for bit.
+fn kernel_fingerprint(config: NocConfig) -> String {
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, (0..nodes).map(|_| NodeCodec::baseline()).collect());
+    let mut rng = Pcg32::seed_from_u64(0xA90C);
+    let offer = |sim: &mut NocSim, rng: &mut Pcg32| {
+        for node in 0..nodes {
+            let roll = rng.below(100);
+            if roll >= 6 {
+                continue;
+            }
+            let mut d = rng.below(nodes as u32) as usize;
+            if d == node {
+                d = (d + 1) % nodes;
+            }
+            if roll < 4 {
+                sim.enqueue_control(NodeId(node as u16), NodeId(d as u16));
+            } else {
+                let w = rng.next_u32() as i32;
+                sim.enqueue_data(
+                    NodeId(node as u16),
+                    NodeId(d as u16),
+                    CacheBlock::from_i32(&[w; 16]),
+                );
+            }
+        }
+    };
+    for _ in 0..400 {
+        offer(&mut sim, &mut rng);
+        sim.step();
+    }
+    sim.begin_measurement();
+    for _ in 0..800 {
+        offer(&mut sim, &mut rng);
+        sim.step();
+    }
+    assert!(sim.drain(100_000), "workload failed to drain");
+    sim.record_unfinished();
+    let s = sim.stats();
+    let a = sim.activity_report();
+    format!(
+        "cyc={} pk={} dp={} cp={} ql={} nl={} dl={} fi={} dfi={} cfi={} fd={} bdf={} unf={} hist={} p50={} p99={} bw={} br={} va={} xb={} lt={}",
+        s.cycles,
+        s.packets,
+        s.data_packets,
+        s.control_packets,
+        s.queue_lat_sum,
+        s.net_lat_sum,
+        s.decode_lat_sum,
+        s.flits_injected,
+        s.data_flits_injected,
+        s.control_flits_injected,
+        s.flits_delivered,
+        s.baseline_data_flits,
+        s.unfinished,
+        s.latency_histogram.samples(),
+        s.latency_histogram.percentile(50.0),
+        s.latency_histogram.percentile(99.0),
+        a.routers.buffer_writes,
+        a.routers.buffer_reads,
+        a.routers.vc_allocs,
+        a.routers.crossbar_traversals,
+        a.routers.link_traversals,
+    )
+}
+
+/// Determinism guard for the allocation-free kernel refactor: these strings
+/// were captured from the pre-refactor `HashMap`-based kernel (PR 1 state)
+/// and every subsequent kernel must reproduce them exactly.
+#[test]
+fn kernel_refactor_is_behavior_preserving() {
+    assert_eq!(
+        kernel_fingerprint(NocConfig::mesh_3x3()),
+        "cyc=821 pk=446 dp=138 cp=308 ql=347 nl=5872 dl=0 fi=1550 dfi=1242 cfi=308 fd=1550 \
+         bdf=1242 unf=0 hist=446 p50=13 p99=47 bw=6484 br=6484 va=1844 xb=6484 lt=4235"
+    );
+    assert_eq!(
+        kernel_fingerprint(NocConfig::paper_4x4_cmesh()),
+        "cyc=846 pk=1517 dp=510 cp=1007 ql=1829 nl=28511 dl=0 fi=5597 dfi=4590 cfi=1007 fd=5597 \
+         bdf=4590 unf=0 hist=1517 p50=19 p99=63 bw=29454 br=29454 va=8102 xb=29454 lt=21172"
+    );
+    assert_eq!(
+        kernel_fingerprint(NocConfig::mesh_8x8()),
+        "cyc=854 pk=3162 dp=1064 cp=2098 ql=4127 nl=90706 dl=0 fi=11674 dfi=9576 cfi=2098 \
+         fd=11674 bdf=9576 unf=0 hist=3162 p50=27 p99=79 bw=107774 br=107774 va=29230 xb=107774 \
+         lt=90593"
     );
 }
 

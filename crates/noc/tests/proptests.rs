@@ -82,6 +82,65 @@ proptest! {
         prop_assert_eq!(stats.unfinished, 0);
     }
 
+    /// [`NetStats`] invariants hold at every measure/drain boundary under
+    /// random burst traffic: the measured flit books never over-count
+    /// deliveries, the latency histogram carries exactly one sample per
+    /// completed measured packet, and once the network drains the measured
+    /// books balance exactly — packets injected inside the window are
+    /// counted on delivery even when that delivery lands during drain.
+    #[test]
+    fn stats_invariants_across_measurement_boundaries(
+        warmup in prop::collection::vec((0usize..9, 0usize..9), 0..20),
+        bursts in prop::collection::vec(
+            (prop::collection::vec((0usize..9, 0usize..9, 0usize..2), 1..8), 1u64..30),
+            1..10,
+        ),
+        tail_cycles in 0u64..40,
+    ) {
+        let mut sim = baseline_sim(NocConfig::mesh_3x3());
+        // Warmup traffic that is still in flight when measurement starts.
+        for (s, d) in warmup {
+            if s != d {
+                sim.enqueue_control(NodeId::from(s), NodeId::from(d));
+            }
+        }
+        sim.run(25);
+        sim.begin_measurement();
+        for (packets, gap) in bursts {
+            for (s, d, kind) in packets {
+                if s == d {
+                    continue;
+                }
+                let (src, dest) = (NodeId::from(s), NodeId::from(d));
+                if kind == 0 {
+                    sim.enqueue_control(src, dest);
+                } else {
+                    sim.enqueue_data(src, dest, CacheBlock::from_i32(&[s as i32; 8]));
+                }
+            }
+            sim.run(gap);
+            let st = sim.stats();
+            prop_assert!(
+                st.flits_delivered <= st.flits_injected,
+                "mid-window over-count: delivered {} > injected {}",
+                st.flits_delivered,
+                st.flits_injected,
+            );
+            prop_assert_eq!(st.latency_histogram.samples(), st.packets);
+            prop_assert_eq!(st.packets, st.data_packets + st.control_packets);
+        }
+        sim.run(tail_cycles);
+        // Close the window with measured packets still in flight, then drain.
+        sim.end_measurement();
+        prop_assert!(sim.drain(100_000), "network failed to drain");
+        sim.record_unfinished();
+        let st = sim.stats();
+        prop_assert_eq!(st.flits_injected, st.flits_delivered);
+        prop_assert_eq!(st.latency_histogram.samples(), st.packets);
+        prop_assert_eq!(st.packets, st.data_packets + st.control_packets);
+        prop_assert_eq!(st.unfinished, 0);
+    }
+
     /// Latency decomposition is internally consistent: queue + net + decode
     /// sums to the reported average, and net latency covers at least the
     /// hop-count pipeline depth.
