@@ -228,6 +228,7 @@ impl CacheSim {
         // Victim: LRU way.
         let victim = (0..self.config.ways)
             .min_by_key(|w| self.caches[core][base + w].lru)
+            // anoc-lint: allow(C001): CacheConfig validates ways >= 1
             .expect("ways >= 1");
         let line = &mut self.caches[core][base + victim];
         line.tag = line_addr;

@@ -161,6 +161,7 @@ impl BlockEncoder for BdEncoder {
                 .iter()
                 .map(|bits| self.encode_config(block, *bits, approx_on))
                 .min_by_key(|codes| codes.iter().map(WordCode::bits).sum::<u32>())
+                // anoc-lint: allow(C001): min over the const non-empty DELTA_WIDTHS
                 .expect("DELTA_WIDTHS is non-empty");
             let best_bits: u32 = best.iter().map(WordCode::bits).sum();
             if u64::from(best_bits) < block.size_bits() + 1 {

@@ -109,8 +109,10 @@ impl BlockEncoder for FpEncoder {
                     // the window budget has left.
                     Some(budget) => Avcl::with_policy(
                         budget.next_threshold(),
+                        // anoc-lint: allow(C001): approx_on is only set when an AVCL is installed
                         self.avcl.expect("approx_on implies avcl").policy(),
                     ),
+                    // anoc-lint: allow(C001): approx_on is only set when an AVCL is installed
                     None => self.avcl.expect("approx_on implies avcl"),
                 };
                 avcl.approx_pattern(word, block.dtype()).mask()
@@ -202,6 +204,7 @@ impl BlockDecoder for FpDecoder {
                 WordCode::ZeroRun { len } => words.extend(std::iter::repeat_n(0u32, len as usize)),
                 WordCode::Pattern { index, adjunct, .. } => {
                     let class = FpcClass::from_index(index)
+                        // anoc-lint: allow(C001): decoder consumes only encoder-produced indices
                         .expect("FP encoder emits only valid pattern indices");
                     if class == FpcClass::Zero {
                         words.extend(std::iter::repeat_n(0u32, adjunct as usize));

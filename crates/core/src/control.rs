@@ -68,6 +68,7 @@ impl QualityController {
     /// The current threshold object (`exact` when driven to 0 — cannot
     /// happen with `min_percent >= 1`).
     pub fn threshold(&self) -> ErrorThreshold {
+        // anoc-lint: allow(C001): percent clamped into the valid 1..=100 range
         ErrorThreshold::from_percent(self.percent.max(1)).expect("bounded by construction")
     }
 

@@ -70,6 +70,7 @@ impl WindowBudget {
             return ErrorThreshold::exact();
         }
         let pct = (avail as u32).min(self.max_percent);
+        // anoc-lint: allow(C001): pct floored to >= 1 and clamped to max_percent
         ErrorThreshold::from_percent(pct).expect("1..=100 by construction")
     }
 

@@ -12,6 +12,7 @@
 //! anoc cache clear
 //! anoc capture --out trace.txt     # persist a benchmark trace
 //! anoc replay --out trace.txt      # simulate from a saved trace
+//! anoc lint --deny                 # determinism/correctness static analysis
 //! ```
 //!
 //! The historical per-figure commands (`anoc fig9`, `anoc table1`, …) keep
@@ -33,6 +34,7 @@ const USAGE: &str = "usage: anoc run <TARGET> [OPTIONS]
        anoc cache <stats|clear>
        anoc capture [OPTIONS]
        anoc replay [OPTIONS]
+       anoc lint [--json] [--deny]
        anoc <TARGET> [OPTIONS]          (alias for `anoc run <TARGET>`)
 
 targets:
@@ -46,7 +48,11 @@ options:
   --threads N   worker threads (default: ANOC_THREADS or all cores)
   --no-cache    always simulate; do not read or write the result cache
   --csv         emit CSV instead of a text table
-  --out PATH    output path (fig17 image directory, capture/replay trace)";
+  --out PATH    output path (fig17 image directory, capture/replay trace)
+
+lint options:
+  --json        machine-readable report (schema in EXPERIMENTS.md)
+  --deny        treat warnings as errors (what CI runs)";
 
 /// All figure/table targets of `anoc run`, in `all` order.
 const TARGETS: [&str; 11] = [
@@ -96,6 +102,7 @@ enum Command {
     CacheClear,
     Capture { opts: Opts },
     Replay { opts: Opts },
+    Lint { args: Vec<String> },
 }
 
 /// Entry point for the `anoc` binary: parses `std::env::args`, runs, and
@@ -114,6 +121,9 @@ pub fn run_args(args: &[&str]) -> i32 {
 
 fn run_argv(argv: &[String]) -> i32 {
     match parse(argv) {
+        // Lint owns its exit-code contract (1 findings, 2 usage), so it
+        // bypasses the Ok/Err mapping below.
+        Ok(Command::Lint { args }) => anoc_lint::run_cli(&args),
         Ok(cmd) => match execute(cmd) {
             Ok(()) => 0,
             Err(e) => {
@@ -147,6 +157,12 @@ fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "capture" => ("capture", String::new()),
         "replay" => ("replay", String::new()),
+        // `lint` has its own flag set, parsed by anoc-lint itself.
+        "lint" => {
+            return Ok(Command::Lint {
+                args: it.map(str::to_string).collect(),
+            });
+        }
         t if TARGETS.contains(&t) || t == "all" || t == "ablations" => ("run", t.to_string()),
         other => return Err(format!("unknown command `{other}`")),
     };
@@ -246,6 +262,7 @@ fn execute(cmd: Command) -> Result<(), String> {
         }
         Command::Capture { opts } => capture(&opts),
         Command::Replay { opts } => replay(&opts),
+        Command::Lint { .. } => unreachable!("lint is dispatched in run_argv"),
     }
 }
 
@@ -514,6 +531,23 @@ mod tests {
         ));
         assert!(parse_strs(&["cache"]).is_err());
         assert!(parse_strs(&["cache", "nuke"]).is_err());
+    }
+
+    #[test]
+    fn lint_subcommand_parses_with_passthrough_flags() {
+        match parse_strs(&["lint"]).expect("parse") {
+            Command::Lint { args } => assert!(args.is_empty()),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_strs(&["lint", "--json", "--deny"]).expect("parse") {
+            Command::Lint { args } => assert_eq!(args, vec!["--json", "--deny"]),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_rejects_unknown_flags_with_usage_exit_code() {
+        assert_eq!(run_args(&["lint", "--frobnicate"]), 2);
     }
 
     #[test]

@@ -1,0 +1,678 @@
+//! A minimal Rust lexer: just enough token structure for line-level lint
+//! rules, with zero dependencies so the workspace keeps building offline.
+//!
+//! The lexer understands the parts of Rust surface syntax that would
+//! otherwise produce false positives in a grep-style scan:
+//!
+//! * line comments (`//`, `///`, `//!`) — skipped as trivia, but scanned for
+//!   `anoc-lint: allow(...)` suppression directives;
+//! * block comments, including nesting (`/* /* */ */`);
+//! * string literals with escapes, byte strings, and raw strings with any
+//!   number of `#` guards (`r#"…"#`, `br##"…"##`);
+//! * char literals vs lifetimes (`'a'` vs `<'a>`);
+//! * numeric literals, distinguishing integer from float (fraction,
+//!   exponent, or `f32`/`f64` suffix);
+//! * multi-char operators, so `==` is one token and `<=` never reads as
+//!   `<` + `=`.
+//!
+//! Everything else (identifiers, punctuation) comes out as plain tokens
+//! tagged with a 1-based line number.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`0.0`, `1e9`, `2f64`).
+    Float,
+    /// Operator or punctuation (`==`, `::`, `.`, `#`, `{`, …).
+    Punct,
+    /// String, byte-string or raw-string literal (contents not tokenized).
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a` in `<'a>`); also `'static`.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// An inline suppression directive:
+/// `// anoc-lint: allow(D002): iteration order never observed`.
+///
+/// It silences the listed rules on its own line and on the following line,
+/// so it can trail the offending expression or sit just above it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// A malformed `anoc-lint:` comment — reported as its own violation (L000)
+/// so a typo'd suppression never silently fails open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedDirective {
+    pub line: u32,
+    pub detail: String,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+    pub malformed: Vec<MalformedDirective>,
+}
+
+impl Lexed {
+    /// Whether `rule` is suppressed at `line` (directive on the same line or
+    /// the line directly above).
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Two-character operators joined into one token. Longest-match on the first
+/// two chars is enough for lint purposes (`<<=` lexes as `<<` + `=`, which no
+/// rule cares about).
+const TWO_CHAR_OPS: [&str; 19] = [
+    "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<",
+];
+
+/// Lexes Rust source. Never fails: unterminated constructs consume to EOF.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string();
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(),
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c == '_' || c.is_alphanumeric() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    /// Whether the cursor sits on `r"`, `r#`, `br"` or `br#`.
+    fn raw_string_ahead(&self) -> bool {
+        let (mut i, c) = (1, self.peek(0));
+        if c == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        matches!(self.peek(i), Some('"') | Some('#'))
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.directive(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // 'r'
+        let mut guards = 0usize;
+        while self.peek(0) == Some('#') {
+            guards += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, not a raw string: emit as ident.
+            let mut text = String::from("r#");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, text, line);
+            return;
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..guards {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..guards {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        match (self.peek(0), self.peek(1)) {
+            // `'\n'`, `'\u{7f}'` — escaped char literal. The escaped char
+            // itself is consumed first so `'\''` does not close early.
+            (Some('\\'), _) => {
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            // `'a'` — plain char literal.
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Char, String::new(), line);
+            }
+            // `'a`, `'static` — lifetime.
+            (Some(c), _) if c == '_' || c.is_alphanumeric() => {
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            // `'('` and friends — single-char literal of punctuation.
+            (Some(_), _) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            (None, _) => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            text.push(self.bump().unwrap());
+            text.push(self.bump().unwrap());
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_ascii_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction: a dot followed by a digit (so `1.max(2)` and `1..2` stay
+        // integers), or a trailing dot not starting a path/range (`1.`).
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_ascii_digit() {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some(d) if d == '.' || d == '_' || d.is_alphabetic() => {}
+                _ => {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign = matches!(self.peek(1), Some('+') | Some('-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if matches!(self.peek(digit_at), Some(d) if d.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().unwrap());
+                if sign {
+                    text.push(self.bump().unwrap());
+                }
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Suffix (`u32`, `f64`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let a = self.bump().unwrap_or(' ');
+        if let Some(b) = self.peek(0) {
+            let two: String = [a, b].iter().collect();
+            if TWO_CHAR_OPS.contains(&two.as_str()) {
+                self.bump();
+                self.push(TokKind::Punct, two, line);
+                return;
+            }
+        }
+        self.push(TokKind::Punct, a.to_string(), line);
+    }
+
+    /// Parses `anoc-lint: allow(R1[, R2…]): reason` out of a line comment.
+    ///
+    /// Only plain `//` comments whose body *starts with* `anoc-lint:` count:
+    /// doc comments (`///`, `//!`) may mention the syntax in prose without
+    /// being parsed as directives.
+    fn directive(&mut self, comment: &str, line: u32) {
+        let body = comment.strip_prefix("//").unwrap_or(comment);
+        if body.starts_with('/') || body.starts_with('!') {
+            return; // doc comment
+        }
+        let Some(rest) = body.trim_start().strip_prefix("anoc-lint:") else {
+            return;
+        };
+        let rest = rest.trim_start();
+        let malformed = |detail: &str| MalformedDirective {
+            line,
+            detail: detail.to_string(),
+        };
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            self.out
+                .malformed
+                .push(malformed("expected `allow(<RULE>[, <RULE>…]): <reason>`"));
+            return;
+        };
+        let Some(close) = rest.find(')') else {
+            self.out.malformed.push(malformed("unclosed `allow(`"));
+            return;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            self.out
+                .malformed
+                .push(malformed("empty rule list in `allow()`"));
+            return;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            self.out.malformed.push(malformed(
+                "suppression needs a reason: `allow(RULE): <why this is safe>`",
+            ));
+            return;
+        }
+        self.out.suppressions.push(Suppression {
+            line,
+            rules,
+            reason: reason.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "HashMap::unwrap() // not code"; s.len()"#);
+        assert!(idents(r#"let s = "HashMap"; s"#)
+            .iter()
+            .all(|i| i != "HashMap"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let l = lex(r#"let s = "a \" HashMap \\"; t"#);
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("t"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let l = lex(r###"let s = r#"contains "quotes" and HashMap"#; done"###);
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("done"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let l = lex(r##"let a = b"HashMap"; let b = br#"HashSet"#; end"##);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "HashMap" && t.text != "HashSet"));
+        assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("end"));
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let l = lex("// HashMap here\n/* unwrap() */ /* nested /* HashSet */ */ x");
+        assert_eq!(
+            l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["x"]
+        );
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let l = lex(r"fn f<'a>(x: &'a str) -> char { 'x' } let q = '\''; let n = '\n';");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_generics_lex_cleanly() {
+        let l = lex("traces: BTreeMap<PacketId, Vec<(u64, TraceEvent)>>,");
+        let ids = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(
+            ids,
+            vec!["traces", "BTreeMap", "PacketId", "Vec", "u64", "TraceEvent"]
+        );
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let kinds = |src: &str| {
+            lex(src)
+                .tokens
+                .into_iter()
+                .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+                .map(|t| (t.kind, t.text))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            kinds("0.0 1e9 2.5e-3 3f64 0.5f32"),
+            vec![
+                (TokKind::Float, "0.0".into()),
+                (TokKind::Float, "1e9".into()),
+                (TokKind::Float, "2.5e-3".into()),
+                (TokKind::Float, "3f64".into()),
+                (TokKind::Float, "0.5f32".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("42 0xFF 1_000u64 7usize"),
+            vec![
+                (TokKind::Int, "42".into()),
+                (TokKind::Int, "0xFF".into()),
+                (TokKind::Int, "1_000u64".into()),
+                (TokKind::Int, "7usize".into()),
+            ]
+        );
+        // Method calls and ranges on integers stay integers.
+        assert_eq!(
+            kinds("1..2").iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![TokKind::Int, TokKind::Int]
+        );
+        assert_eq!(kinds("3.max(4)")[0].0, TokKind::Int);
+        // Tuple/field access does not merge into a float.
+        assert_eq!(kinds("x.0")[0], (TokKind::Int, "0".into()));
+    }
+
+    #[test]
+    fn two_char_operators_join() {
+        let puncts: Vec<String> = lex("a == b != c <= d >= e :: f")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", ">=", "::"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let l = lex("a\nb\n\nc /* multi\nline */ d");
+        let at = |name: &str| l.tokens.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(at("a"), 1);
+        assert_eq!(at("b"), 2);
+        assert_eq!(at("c"), 4);
+        assert_eq!(at("d"), 5);
+    }
+
+    #[test]
+    fn suppression_directive_parses() {
+        let l = lex("let x = 1; // anoc-lint: allow(D002): bounded test helper\n");
+        assert_eq!(l.suppressions.len(), 1);
+        let s = &l.suppressions[0];
+        assert_eq!(s.line, 1);
+        assert_eq!(s.rules, vec!["D002"]);
+        assert_eq!(s.reason, "bounded test helper");
+        assert!(l.is_suppressed("D002", 1));
+        assert!(l.is_suppressed("D002", 2));
+        assert!(!l.is_suppressed("D002", 3));
+        assert!(!l.is_suppressed("C001", 1));
+    }
+
+    #[test]
+    fn suppression_multiple_rules() {
+        let l = lex("// anoc-lint: allow(C001, D003): invariant holds by construction\n");
+        assert_eq!(l.suppressions[0].rules, vec!["C001", "D003"]);
+    }
+
+    #[test]
+    fn malformed_suppressions_are_reported() {
+        for bad in [
+            "// anoc-lint: allow(D002)",          // missing reason
+            "// anoc-lint: allow(D002):   ",      // empty reason
+            "// anoc-lint: allow(): why",         // empty rule list
+            "// anoc-lint: allow(D002: no close", // unclosed paren
+            "// anoc-lint: deny(D002): nope",     // unknown verb
+        ] {
+            let l = lex(bad);
+            assert_eq!(l.suppressions.len(), 0, "{bad}");
+            assert_eq!(l.malformed.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_and_prose_are_not_directives() {
+        for ignored in [
+            "/// Suppress with `// anoc-lint: allow(D002)` and a reason.",
+            "//! The `anoc-lint: allow(...)` syntax is described here.",
+            "// see the anoc-lint: allow() docs", // body does not start with anoc-lint:
+        ] {
+            let l = lex(ignored);
+            assert!(l.suppressions.is_empty(), "{ignored}");
+            assert!(l.malformed.is_empty(), "{ignored}");
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! # anoc-lint — workspace determinism & correctness static analysis
+//!
+//! The whole APPROX-NoC reproduction rests on bit-exact determinism: the
+//! golden-fingerprint test pins every statistic of the paper's 4x4 cmesh
+//! workloads, and `anoc-exec`'s result cache assumes a
+//! `(config, workload, seed)` key always reproduces identical bits. This
+//! crate enforces that invariant *statically*: a minimal std-only Rust lexer
+//! ([`lexer`]) feeds a small set of repo-specific rules ([`rules`]) with
+//! stable IDs, severity levels, inline suppressions and human or JSON output.
+//!
+//! Run it as `anoc lint [--json] [--deny]` through the unified CLI, or
+//! directly with `cargo run --release -p anoc-lint -- --deny` (what CI does).
+//!
+//! Exit codes: `0` clean, `1` findings (errors; any finding under `--deny`),
+//! `2` usage or I/O failure.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use rules::{FileContext, Severity, Violation, SIM_CRITICAL_CRATES};
+
+/// Options for one lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Emit machine-readable JSON instead of human-readable lines.
+    pub json: bool,
+    /// Treat warnings as errors for the exit code.
+    pub deny: bool,
+}
+
+/// One reportable finding, bound to its file.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule_id: &'static str,
+    pub severity: Severity,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// The outcome of linting a file tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Process exit code under the given options.
+    pub fn exit_code(&self, opts: &Options) -> i32 {
+        let failing = if opts.deny {
+            self.findings.len()
+        } else {
+            self.errors()
+        };
+        i32::from(failing > 0)
+    }
+
+    /// Human-readable rendering: one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: {} {}: {}",
+                f.path,
+                f.line,
+                f.rule_id,
+                f.severity.as_str(),
+                f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "anoc-lint: {} files, {} errors, {} warnings, {} suppressed",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed
+        );
+        out
+    }
+
+    /// Machine-readable rendering. The schema is stable (documented in
+    /// EXPERIMENTS.md): `version`, `files_scanned`, `errors`, `warnings`,
+    /// `suppressed`, and a `violations` array of
+    /// `{rule, severity, path, line, message}` sorted by (path, line, rule).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"errors\": {},", self.errors());
+        let _ = writeln!(out, "  \"warnings\": {},", self.warnings());
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"violations\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}",
+                f.rule_id,
+                f.severity.as_str(),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints one in-memory source file under an explicit context. The unit-test
+/// entry point; [`lint_root`] drives it over a real tree.
+pub fn lint_source(ctx: &FileContext, src: &str) -> (Vec<Violation>, usize) {
+    let lexed = lexer::lex(src);
+    let all = rules::check(ctx, &lexed);
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for v in all {
+        if lexed.is_suppressed(v.rule.id, v.line) {
+            suppressed += 1;
+        } else {
+            kept.push(v);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Derives the rule context of `rel` (a `/`-separated workspace-relative
+/// path).
+pub fn context_for(rel: &str) -> FileContext {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        "approx-noc".to_string()
+    };
+    let sim_critical = SIM_CRITICAL_CRATES.contains(&crate_name.as_str());
+    let in_dir = |d: &str| parts.contains(&d);
+    let file = parts.last().copied().unwrap_or("");
+    let src_prefix = if parts.first() == Some(&"crates") {
+        2
+    } else {
+        0
+    };
+    FileContext {
+        path: rel.to_string(),
+        crate_name,
+        sim_critical,
+        is_test_file: in_dir("tests") || in_dir("benches") || in_dir("examples"),
+        is_bin: in_dir("bin") || file == "main.rs" || file == "build.rs",
+        is_crate_root: parts.get(src_prefix).copied() == Some("src")
+            && parts.get(src_prefix + 1).copied() == Some("lib.rs"),
+    }
+}
+
+/// Walks `root` for workspace `.rs` files, in sorted (deterministic) order.
+/// Skips `target/` and hidden directories.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace source file under `root`.
+pub fn lint_root(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let ctx = context_for(&rel);
+        let src = std::fs::read_to_string(&path)?;
+        let (violations, suppressed) = lint_source(&ctx, &src);
+        report.files_scanned += 1;
+        report.suppressed += suppressed;
+        for v in violations {
+            report.findings.push(Finding {
+                rule_id: v.rule.id,
+                severity: v.rule.severity,
+                path: rel.clone(),
+                line: v.line,
+                message: v.message,
+            });
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule_id).cmp(&(&b.path, b.line, b.rule_id)));
+    Ok(report)
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Full CLI driver shared by the `anoc-lint` binary and `anoc lint`.
+/// Accepts `--json`, `--deny` and `--root PATH`; prints the report to
+/// stdout and returns the process exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut opts = Options::default();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => opts.deny = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: anoc-lint [--json] [--deny] [--root PATH]");
+                return 2;
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "error: no workspace Cargo.toml found above {}",
+                        cwd.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    };
+    match lint_root(&root) {
+        Ok(report) => {
+            if opts.json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            report.exit_code(&opts)
+        }
+        Err(e) => {
+            eprintln!("error: cannot lint {}: {e}", root.display());
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_classification() {
+        let c = context_for("crates/noc/src/sim.rs");
+        assert_eq!(c.crate_name, "noc");
+        assert!(c.sim_critical && !c.is_test_file && !c.is_bin && !c.is_crate_root);
+
+        let c = context_for("crates/compression/src/lib.rs");
+        assert!(c.sim_critical && c.is_crate_root);
+
+        let c = context_for("crates/noc/tests/integration.rs");
+        assert!(c.sim_critical && c.is_test_file);
+
+        let c = context_for("crates/exec/src/pool.rs");
+        assert!(!c.sim_critical);
+
+        let c = context_for("crates/harness/src/bin/fig9.rs");
+        assert!(c.is_bin);
+
+        let c = context_for("src/lib.rs");
+        assert_eq!(c.crate_name, "approx-noc");
+        assert!(c.is_crate_root && !c.sim_critical);
+
+        let c = context_for("src/bin/anoc.rs");
+        assert!(c.is_bin);
+
+        let c = context_for("examples/latency_sweep.rs");
+        assert!(c.is_test_file);
+    }
+
+    #[test]
+    fn report_exit_codes() {
+        let clean = Report::default();
+        assert_eq!(clean.exit_code(&Options::default()), 0);
+        assert_eq!(
+            clean.exit_code(&Options {
+                deny: true,
+                ..Options::default()
+            }),
+            0
+        );
+        let mut warned = Report::default();
+        warned.findings.push(Finding {
+            rule_id: "C001",
+            severity: Severity::Warning,
+            path: "x.rs".into(),
+            line: 1,
+            message: "m".into(),
+        });
+        assert_eq!(warned.exit_code(&Options::default()), 0);
+        assert_eq!(
+            warned.exit_code(&Options {
+                deny: true,
+                ..Options::default()
+            }),
+            1
+        );
+        let mut errored = Report::default();
+        errored.findings.push(Finding {
+            rule_id: "D002",
+            severity: Severity::Error,
+            path: "x.rs".into(),
+            line: 1,
+            message: "m".into(),
+        });
+        assert_eq!(errored.exit_code(&Options::default()), 1);
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let mut r = Report {
+            files_scanned: 2,
+            suppressed: 1,
+            ..Report::default()
+        };
+        r.findings.push(Finding {
+            rule_id: "D002",
+            severity: Severity::Error,
+            path: "crates/noc/src/sim.rs".into(),
+            line: 69,
+            message: "a \"quoted\" message".into(),
+        });
+        let json = r.render_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"warnings\": 0"));
+        assert!(json.contains("\"suppressed\": 1"));
+        assert!(json.contains(
+            "{\"rule\": \"D002\", \"severity\": \"error\", \
+             \"path\": \"crates/noc/src/sim.rs\", \"line\": 69, \
+             \"message\": \"a \\\"quoted\\\" message\"}"
+        ));
+        // Key order is fixed: version before violations, rule before path.
+        let v = json.find("\"version\"").unwrap();
+        let f = json.find("\"files_scanned\"").unwrap();
+        let vio = json.find("\"violations\"").unwrap();
+        assert!(v < f && f < vio);
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let json = Report::default().render_json();
+        assert!(json.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn lint_source_counts_suppressions() {
+        let ctx = context_for("crates/noc/src/x.rs");
+        let (v, s) = lint_source(
+            &ctx,
+            "use std::collections::HashMap; // anoc-lint: allow(D002): scratch only\n",
+        );
+        assert!(v.is_empty());
+        assert_eq!(s, 1);
+    }
+}

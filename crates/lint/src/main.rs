@@ -1,0 +1,9 @@
+//! `anoc-lint` — the standalone binary CI runs:
+//! `cargo run --release -p anoc-lint -- --deny`.
+//!
+//! `anoc lint` routes to the same [`anoc_lint::run_cli`] driver.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(anoc_lint::run_cli(&args));
+}

@@ -1,0 +1,571 @@
+//! The repo-specific rule set.
+//!
+//! Every rule is grounded in a concrete hazard of this codebase: the result
+//! cache and the golden-fingerprint test both assume that a
+//! `(config, workload, seed)` triple reproduces identical bits, so anything
+//! that can silently break bit-exactness (wall-clock reads, hash-iteration
+//! order, float equality) is flagged at the source level, before it ever
+//! reaches a simulation.
+//!
+//! | id   | severity | checks |
+//! |------|----------|--------|
+//! | L000 | error    | malformed `anoc-lint:` suppression comment |
+//! | D001 | error    | `Instant::now` / `SystemTime` / `thread_rng` in a sim-critical crate |
+//! | D002 | error    | `HashMap` / `HashSet` in a sim-critical crate |
+//! | D003 | warning  | float `==` / `!=` against a float literal (non-test code) |
+//! | C001 | warning  | `.unwrap()` / `.expect()` / `panic!` in sim-critical library code |
+//! | C002 | error    | crate root missing `#![forbid(unsafe_code)]` |
+//! | H001 | warning  | `println!` / `eprintln!` in sim-critical library code |
+//!
+//! Suppress a finding with a trailing or preceding comment:
+//! `// anoc-lint: allow(D002): <reason>` — the reason is mandatory.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Finding severity. `Error` fails the run; `Warning` fails under `--deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A rule's stable identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    pub id: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+/// All rules, in report order.
+pub const RULES: [Rule; 7] = [
+    Rule {
+        id: "L000",
+        severity: Severity::Error,
+        summary: "malformed anoc-lint suppression comment",
+    },
+    Rule {
+        id: "D001",
+        severity: Severity::Error,
+        summary: "wall-clock or ambient randomness in a sim-critical crate",
+    },
+    Rule {
+        id: "D002",
+        severity: Severity::Error,
+        summary: "hash-ordered collection in a sim-critical crate",
+    },
+    Rule {
+        id: "D003",
+        severity: Severity::Warning,
+        summary: "exact float equality in stats/metrics code",
+    },
+    Rule {
+        id: "C001",
+        severity: Severity::Warning,
+        summary: "panicking call in sim-critical library code",
+    },
+    Rule {
+        id: "C002",
+        severity: Severity::Error,
+        summary: "crate root missing #![forbid(unsafe_code)]",
+    },
+    Rule {
+        id: "H001",
+        severity: Severity::Warning,
+        summary: "direct stdout/stderr printing in sim-critical library code",
+    },
+];
+
+pub fn rule(id: &str) -> &'static Rule {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("unknown rule id {id}"))
+}
+
+/// The crates whose behaviour feeds simulation statistics. Wall-clock,
+/// hash-iteration order and panics are banned here; `exec`, `harness` and
+/// the vendored `criterion`/`proptest` shims legitimately measure time and
+/// print progress, so they are exempt from the D/H rules (C002 still
+/// applies everywhere).
+pub const SIM_CRITICAL_CRATES: [&str; 5] = ["noc", "compression", "core", "traffic", "apps"];
+
+/// Where a file sits in the workspace — determines which rules apply.
+#[derive(Debug, Clone, Default)]
+pub struct FileContext {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// Crate directory name under `crates/` (or the root package name).
+    pub crate_name: String,
+    /// Member of [`SIM_CRITICAL_CRATES`].
+    pub sim_critical: bool,
+    /// Under `tests/`, `benches/` or `examples/` — everything is test code.
+    pub is_test_file: bool,
+    /// Under `src/bin/` or a `main.rs` — CLI entry points may print/panic.
+    pub is_bin: bool,
+    /// A `src/lib.rs` — must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// One finding, pre-suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static Rule,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items inside a source
+/// file. Files under `tests/` are handled by [`FileContext::is_test_file`].
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute token span `#[ ... ]`.
+        let Some((attr, after)) = attribute_at(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attribute(attr) {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes, then find the item's brace block.
+        let mut j = after;
+        while j < tokens.len() && tokens[j].kind == TokKind::Punct && tokens[j].text == "#" {
+            match attribute_at(tokens, j) {
+                Some((_, next)) => j = next,
+                None => break,
+            }
+        }
+        let start_line = tokens[i].line;
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    // A `}` at depth 0 closes an enclosing block: the
+                    // attributed item was the last thing in it.
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end_line = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+/// If `tokens[i]` opens an attribute (`#[...]` or `#![...]`), returns its
+/// bracketed tokens and the index just past the closing `]`.
+fn attribute_at(tokens: &[Token], i: usize) -> Option<(&[Token], usize)> {
+    let mut j = i + 1;
+    if tokens.get(j).map(|t| t.text.as_str()) == Some("!") {
+        j += 1;
+    }
+    if tokens.get(j).map(|t| t.text.as_str()) != Some("[") {
+        return None;
+    }
+    let open = j;
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(j) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((&tokens[open + 1..j], j + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `#[test]` or `#[cfg(test)]` — but not `#[cfg(not(test))]`.
+fn is_test_attribute(attr: &[Token]) -> bool {
+    let texts: Vec<&str> = attr.iter().map(|t| t.text.as_str()).collect();
+    texts == ["test"] || texts == ["cfg", "(", "test", ")"]
+}
+
+/// Runs every applicable rule over one lexed file. Suppressions are applied
+/// by the caller (so suppressed counts can be reported).
+pub fn check(ctx: &FileContext, lexed: &Lexed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in &lexed.malformed {
+        out.push(Violation {
+            rule: rule("L000"),
+            line: m.line,
+            message: format!("malformed anoc-lint directive: {}", m.detail),
+        });
+    }
+    if ctx.is_crate_root {
+        check_c002(lexed, &mut out);
+    }
+    if !ctx.sim_critical {
+        out.sort_by_key(|v| (v.line, v.rule.id));
+        return out;
+    }
+    let regions = if ctx.is_test_file {
+        Vec::new()
+    } else {
+        test_regions(&lexed.tokens)
+    };
+    let in_test =
+        |line: u32| ctx.is_test_file || regions.iter().any(|&(s, e)| s <= line && line <= e);
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let next = toks.get(i + 1);
+        let next_is = |s: &str| next.map(|n| n.text == s).unwrap_or(false);
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                // D001 — applies everywhere in a sim-critical crate, tests
+                // included: a deterministic kernel never consults the clock.
+                "Instant"
+                    if next_is("::")
+                        && toks.get(i + 2).map(|n| n.text == "now").unwrap_or(false) =>
+                {
+                    out.push(Violation {
+                        rule: rule("D001"),
+                        line: t.line,
+                        message: "`Instant::now` in a sim-critical crate; wall-clock reads \
+                                  belong in exec/harness progress paths"
+                            .into(),
+                    });
+                }
+                "SystemTime" | "thread_rng" => {
+                    out.push(Violation {
+                        rule: rule("D001"),
+                        line: t.line,
+                        message: format!(
+                            "`{}` in a sim-critical crate; use the seeded RNG plumbed \
+                             through the config",
+                            t.text
+                        ),
+                    });
+                }
+                // D002 — hash iteration order is nondeterministic; tests are
+                // included because trace/stat comparisons iterate helpers.
+                "HashMap" | "HashSet" => {
+                    out.push(Violation {
+                        rule: rule("D002"),
+                        line: t.line,
+                        message: format!(
+                            "`{}` in sim-critical crate `{}`: iteration order is \
+                             nondeterministic; use BTreeMap/BTreeSet or a Vec-indexed \
+                             structure",
+                            t.text, ctx.crate_name
+                        ),
+                    });
+                }
+                // C001 — library code must surface errors, not abort.
+                "unwrap" | "expect"
+                    if !ctx.is_bin
+                        && !in_test(t.line)
+                        && prev.map(|p| p.text == ".").unwrap_or(false)
+                        && next_is("(") =>
+                {
+                    out.push(Violation {
+                        rule: rule("C001"),
+                        line: t.line,
+                        message: format!(
+                            "`.{}()` in sim-critical library code; return a Result or \
+                             document the invariant with an allow",
+                            t.text
+                        ),
+                    });
+                }
+                "panic" if !ctx.is_bin && !in_test(t.line) && next_is("!") => {
+                    out.push(Violation {
+                        rule: rule("C001"),
+                        line: t.line,
+                        message: "`panic!` in sim-critical library code; return a Result or \
+                                  document the invariant with an allow"
+                            .into(),
+                    });
+                }
+                // H001 — output flows through stats/progress, never stdout.
+                "println" | "eprintln" if !ctx.is_bin && !in_test(t.line) && next_is("!") => {
+                    out.push(Violation {
+                        rule: rule("H001"),
+                        line: t.line,
+                        message: format!(
+                            "`{}!` in sim-critical library code; emit through stats or \
+                             the progress reporter",
+                            t.text
+                        ),
+                    });
+                }
+                _ => {}
+            },
+            // D003 — exact float equality: flagged when either side is a
+            // float literal (type-level detection needs a real type checker).
+            TokKind::Punct if (t.text == "==" || t.text == "!=") && !in_test(t.line) => {
+                let float_adjacent = prev.map(|p| p.kind == TokKind::Float).unwrap_or(false)
+                    || next.map(|n| n.kind == TokKind::Float).unwrap_or(false);
+                if float_adjacent {
+                    out.push(Violation {
+                        rule: rule("D003"),
+                        line: t.line,
+                        message: format!(
+                            "float `{}` comparison against a literal; compare with an \
+                             epsilon or document the exact-value sentinel with an allow",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.rule.id));
+    out
+}
+
+/// C002: the crate root must open with `#![forbid(unsafe_code)]`.
+fn check_c002(lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" {
+            if let Some((attr, after)) = attribute_at(toks, i) {
+                let texts: Vec<&str> = attr.iter().map(|t| t.text.as_str()).collect();
+                if texts == ["forbid", "(", "unsafe_code", ")"] {
+                    return;
+                }
+                i = after;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out.push(Violation {
+        rule: rule("C002"),
+        line: 1,
+        message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sim_ctx() -> FileContext {
+        FileContext {
+            path: "crates/noc/src/sim.rs".into(),
+            crate_name: "noc".into(),
+            sim_critical: true,
+            ..FileContext::default()
+        }
+    }
+
+    fn check_src(ctx: &FileContext, src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        check(ctx, &lexed)
+            .into_iter()
+            .filter(|v| !lexed.is_suppressed(v.rule.id, v.line))
+            .collect()
+    }
+
+    fn ids(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule.id).collect()
+    }
+
+    #[test]
+    fn d001_hits_suppresses_and_passes() {
+        let ctx = sim_ctx();
+        assert_eq!(
+            ids(&check_src(&ctx, "let t = Instant::now();")),
+            vec!["D001"]
+        );
+        assert_eq!(
+            ids(&check_src(
+                &ctx,
+                "let r = thread_rng(); let s = SystemTime::now();"
+            )),
+            vec!["D001", "D001"]
+        );
+        assert!(check_src(
+            &ctx,
+            "let t = Instant::now(); // anoc-lint: allow(D001): test-only timing probe"
+        )
+        .is_empty());
+        // An `Instant` that is not `::now` (e.g. stored value) passes.
+        assert!(check_src(&ctx, "fn f(t: Instant) -> Instant { t }").is_empty());
+        // Non-sim crates may read the clock.
+        let exec = FileContext {
+            crate_name: "exec".into(),
+            sim_critical: false,
+            ..FileContext::default()
+        };
+        assert!(check_src(&exec, "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn d002_hits_suppresses_and_passes() {
+        let ctx = sim_ctx();
+        assert_eq!(
+            ids(&check_src(&ctx, "use std::collections::HashMap;")),
+            vec!["D002"]
+        );
+        assert!(check_src(
+            &ctx,
+            "// anoc-lint: allow(D002): ordering never observed\nlet m = HashSet::new();"
+        )
+        .is_empty());
+        assert!(check_src(&ctx, "use std::collections::BTreeMap;").is_empty());
+        // D002 applies inside #[cfg(test)] too — test helpers can leak order.
+        assert_eq!(
+            ids(&check_src(
+                &ctx,
+                "#[cfg(test)]\nmod tests { fn f() { let m = HashMap::new(); } }"
+            )),
+            vec!["D002"]
+        );
+    }
+
+    #[test]
+    fn d003_hits_suppresses_and_passes() {
+        let ctx = sim_ctx();
+        assert_eq!(ids(&check_src(&ctx, "if x == 0.0 { y() }")), vec!["D003"]);
+        assert_eq!(ids(&check_src(&ctx, "if 1e-9 != x { y() }")), vec!["D003"]);
+        assert!(check_src(
+            &ctx,
+            "if x == 0.0 { y() } // anoc-lint: allow(D003): exact zero sentinel"
+        )
+        .is_empty());
+        assert!(check_src(&ctx, "if x == 0 { y() }").is_empty());
+        assert!(check_src(&ctx, "if (x - 0.5).abs() < 1e-9 { y() }").is_empty());
+        // Test code may compare floats exactly.
+        assert!(check_src(
+            &ctx,
+            "#[cfg(test)]\nmod tests { fn f() { assert!(q == 1.0); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn c001_hits_suppresses_and_passes() {
+        let ctx = sim_ctx();
+        assert_eq!(ids(&check_src(&ctx, "let v = x.unwrap();")), vec!["C001"]);
+        assert_eq!(
+            ids(&check_src(&ctx, "let v = x.expect(\"invariant\");")),
+            vec!["C001"]
+        );
+        assert_eq!(ids(&check_src(&ctx, "panic!(\"boom\");")), vec!["C001"]);
+        assert!(check_src(
+            &ctx,
+            "let v = x.expect(\"q\"); // anoc-lint: allow(C001): slot is live by construction"
+        )
+        .is_empty());
+        // unwrap_or / unwrap_or_default are fine.
+        assert!(check_src(&ctx, "let v = x.unwrap_or(0).min(y.unwrap_or_default());").is_empty());
+        // Test modules and test files may panic.
+        assert!(check_src(
+            &ctx,
+            "#[cfg(test)]\nmod tests {\n #[test]\n fn t() { x.unwrap(); panic!(\"in test\"); }\n}"
+        )
+        .is_empty());
+        let test_file = FileContext {
+            is_test_file: true,
+            ..sim_ctx()
+        };
+        assert!(check_src(&test_file, "x.unwrap();").is_empty());
+        let bin = FileContext {
+            is_bin: true,
+            ..sim_ctx()
+        };
+        assert!(check_src(&bin, "x.unwrap();").is_empty());
+    }
+
+    #[test]
+    fn c002_hits_and_passes() {
+        let root = FileContext {
+            is_crate_root: true,
+            ..FileContext::default()
+        };
+        assert_eq!(
+            ids(&check_src(&root, "//! Docs only.\npub fn f() {}")),
+            vec!["C002"]
+        );
+        assert!(check_src(&root, "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}").is_empty());
+        // Non-root files are not required to carry the attribute.
+        assert!(check_src(&sim_ctx(), "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn h001_hits_suppresses_and_passes() {
+        let ctx = sim_ctx();
+        assert_eq!(
+            ids(&check_src(&ctx, "println!(\"latency {x}\");")),
+            vec!["H001"]
+        );
+        assert_eq!(ids(&check_src(&ctx, "eprintln!(\"warn\");")), vec!["H001"]);
+        assert!(check_src(
+            &ctx,
+            "eprintln!(\"x\"); // anoc-lint: allow(H001): debug hook behind env var"
+        )
+        .is_empty());
+        assert!(check_src(
+            &ctx,
+            "#[cfg(test)]\nmod tests { fn f() { println!(\"dbg\"); } }"
+        )
+        .is_empty());
+        // format!/write! are fine.
+        assert!(check_src(&ctx, "let s = format!(\"{x}\");").is_empty());
+    }
+
+    #[test]
+    fn l000_malformed_directive_is_an_error() {
+        let vs = check_src(&sim_ctx(), "// anoc-lint: allow(D002)\nlet m = 1;");
+        assert_eq!(ids(&vs), vec!["L000"]);
+        assert_eq!(vs[0].rule.severity, Severity::Error);
+    }
+
+    #[test]
+    fn violations_in_strings_and_comments_do_not_fire() {
+        let ctx = sim_ctx();
+        assert!(check_src(&ctx, "let s = \"HashMap::new() Instant::now\";").is_empty());
+        assert!(check_src(&ctx, "// HashMap in prose\n/* x.unwrap() */").is_empty());
+        assert!(check_src(&ctx, "let s = r#\"panic!(\"x\")\"#;").is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let vs = check_src(&sim_ctx(), "#[cfg(not(test))]\nfn f() { x.unwrap(); }");
+        assert_eq!(ids(&vs), vec!["C001"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end acceptance test: a synthetic workspace tree with exactly one
+//! seeded violation per rule must make `anoc-lint --deny` report every rule
+//! and exit nonzero, while the cleaned-up twin exits zero.
+
+use std::path::{Path, PathBuf};
+
+use anoc_lint::{lint_root, Options};
+
+/// A scratch directory that cleans up after itself.
+struct TempTree(PathBuf);
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("anoc-lint-fixture-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create fixture root");
+        TempTree(dir)
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture files have parents"))
+            .expect("create fixture dirs");
+        std::fs::write(path, contents).expect("write fixture file");
+    }
+
+    fn root(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const WORKSPACE_MANIFEST: &str = "[workspace]\nmembers = [\"crates/*\"]\n";
+
+#[test]
+fn seeded_tree_trips_every_rule_and_denies() {
+    let tree = TempTree::new("dirty");
+    tree.write("Cargo.toml", WORKSPACE_MANIFEST);
+    // One violation per rule, spread over a sim-critical crate.
+    tree.write(
+        "crates/noc/src/lib.rs",
+        // Missing #![forbid(unsafe_code)] => C002 fires on the crate root.
+        "//! Fixture crate root.\n\
+         pub mod kernel;\n",
+    );
+    tree.write(
+        "crates/noc/src/kernel.rs",
+        "use std::collections::HashMap;\n\
+         pub fn startup() -> u64 {\n\
+             let t = std::time::Instant::now();\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             let x = m.get(&0).unwrap();\n\
+             if *x as f64 == 0.0 {\n\
+                 println!(\"zero\");\n\
+             }\n\
+             t.elapsed().as_secs()\n\
+         }\n\
+         // anoc-lint: allow(D001)\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    let fired: Vec<&str> = report.findings.iter().map(|f| f.rule_id).collect();
+    for rule in ["L000", "D001", "D002", "D003", "C001", "C002", "H001"] {
+        assert!(fired.contains(&rule), "rule {rule} did not fire: {fired:?}");
+    }
+    assert_eq!(
+        report.exit_code(&Options {
+            deny: true,
+            ..Options::default()
+        }),
+        1
+    );
+    // Errors alone already fail the default mode (D001/D002/C002/L000).
+    assert_eq!(report.exit_code(&Options::default()), 1);
+}
+
+#[test]
+fn clean_tree_is_quiet() {
+    let tree = TempTree::new("clean");
+    tree.write("Cargo.toml", WORKSPACE_MANIFEST);
+    tree.write(
+        "crates/noc/src/lib.rs",
+        "//! Fixture crate root.\n\
+         #![forbid(unsafe_code)]\n\
+         pub mod kernel;\n",
+    );
+    tree.write(
+        "crates/noc/src/kernel.rs",
+        "use std::collections::BTreeMap;\n\
+         pub fn startup(seed: u64) -> Option<u64> {\n\
+             let m: BTreeMap<u64, u64> = BTreeMap::new();\n\
+             m.get(&seed).copied()\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn t() {\n\
+                 assert_eq!(super::startup(1), None); // tests may panic\n\
+             }\n\
+         }\n",
+    );
+    // Suppressed findings stay out of the report but are counted.
+    tree.write(
+        "crates/traffic/src/lib.rs",
+        "//! Fixture.\n\
+         #![forbid(unsafe_code)]\n\
+         // anoc-lint: allow(D002): scratch map, iteration order never observed\n\
+         pub type Scratch = std::collections::HashMap<u32, u32>;\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    assert!(
+        report.findings.is_empty(),
+        "unexpected findings: {:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(
+        report.exit_code(&Options {
+            deny: true,
+            ..Options::default()
+        }),
+        0
+    );
+}
+
+#[test]
+fn non_sim_crates_may_use_clocks_and_prints() {
+    let tree = TempTree::new("exec");
+    tree.write("Cargo.toml", WORKSPACE_MANIFEST);
+    tree.write(
+        "crates/exec/src/lib.rs",
+        "//! Progress reporting is allowed to read the clock and print.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn tick() {\n\
+             let t = std::time::Instant::now();\n\
+             eprintln!(\"elapsed {:?}\", t.elapsed());\n\
+         }\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    assert!(
+        report.findings.is_empty(),
+        "unexpected findings: {:?}",
+        report.findings
+    );
+}

@@ -1,0 +1,38 @@
+//! Self-check: the real workspace must be lint-clean. A new wall-clock
+//! read, hash-ordered collection or unannotated panic in a sim-critical
+//! crate fails this test (and CI) immediately.
+
+use std::path::Path;
+
+use anoc_lint::{lint_root, Options};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = lint_root(root).expect("lint workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered = report.render_human();
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{rendered}"
+    );
+    assert_eq!(
+        report.exit_code(&Options {
+            deny: true,
+            ..Options::default()
+        }),
+        0
+    );
+}

@@ -320,6 +320,7 @@ impl Router {
                 rot &= rot - 1;
                 // Inspect the head-of-line flit of this VC.
                 let vc = &mut port.vcs[v];
+                // anoc-lint: allow(C001): occupancy bitmask mirrors buffer contents
                 let flit = *vc.buf.front().expect("occupied VC has a flit");
                 if flit.ready_at > now {
                     continue;
@@ -396,11 +397,14 @@ impl Router {
                 (mask >> start) | (mask << (num_in - start))
             };
             let ip = wrap(start + rot.trailing_zeros() as usize, num_in);
+            // anoc-lint: allow(C001): request mask bit set only when a request exists
             let (v, _) = requests[ip].take().expect("masked input had a request");
             let in_port = &mut in_ports[ip];
             let vc_state = &mut in_port.vcs[v];
+            // anoc-lint: allow(C001): phase 1 nominated this VC because it had a flit
             let flit = vc_state.buf.pop_front().expect("nominated VC has a flit");
             *buffered -= 1;
+            // anoc-lint: allow(C001): VA granted an output VC before the request was filed
             let ovc = vc_state.out_vc.expect("granted packets hold an output VC");
             if flit.is_tail {
                 // Release the wormhole: route and output VC free up.

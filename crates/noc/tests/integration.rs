@@ -210,7 +210,7 @@ fn switch_allocation_is_fair_under_contention() {
     let nodes = config.num_nodes();
     let mut sim = NocSim::new(config, (0..nodes).map(|_| NodeCodec::baseline()).collect());
     let sources = [NodeId(0), NodeId(2), NodeId(6)];
-    let mut offered = std::collections::HashMap::new();
+    let mut offered = std::collections::BTreeMap::new();
     for round in 0..600 {
         if round % 2 == 0 {
             for s in sources {
@@ -222,7 +222,7 @@ fn switch_allocation_is_fair_under_contention() {
     }
     sim.drain(100_000);
     let delivered = sim.drain_delivered();
-    let mut per_src = std::collections::HashMap::new();
+    let mut per_src = std::collections::BTreeMap::new();
     for d in &delivered {
         *per_src.entry(d.src).or_insert(0u32) += 1;
     }

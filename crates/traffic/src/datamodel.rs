@@ -388,7 +388,7 @@ mod tests {
     #[test]
     fn ssca2_shows_value_locality() {
         let mut m = DataModel::new(Benchmark::Ssca2, 11);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..200 {
             let b = m.next_block(true);
             for w in b.words() {
