@@ -155,17 +155,18 @@ impl BlockEncoder for BdEncoder {
             if let Some(codes) = self.try_config_repeat(block, approx_on) {
                 break 'config codes;
             }
-            // Pick the cheapest delta width; fall back to uncompressed
-            // (one tag bit) when no width is profitable.
-            let best = DELTA_WIDTHS
+            // Pick the cheapest delta width (DELTA_WIDTHS is a non-empty
+            // const, so the min exists); fall back to uncompressed (one tag
+            // bit) when no width is profitable.
+            if let Some(best) = DELTA_WIDTHS
                 .iter()
                 .map(|bits| self.encode_config(block, *bits, approx_on))
                 .min_by_key(|codes| codes.iter().map(WordCode::bits).sum::<u32>())
-                // anoc-lint: allow(C001): min over the const non-empty DELTA_WIDTHS
-                .expect("DELTA_WIDTHS is non-empty");
-            let best_bits: u32 = best.iter().map(WordCode::bits).sum();
-            if u64::from(best_bits) < block.size_bits() + 1 {
-                break 'config best;
+            {
+                let best_bits: u32 = best.iter().map(WordCode::bits).sum();
+                if u64::from(best_bits) < block.size_bits() + 1 {
+                    break 'config best;
+                }
             }
             words
                 .iter()

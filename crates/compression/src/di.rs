@@ -153,6 +153,10 @@ impl BlockEncoder for DiEncoder {
     fn activity(&self) -> CodecActivity {
         self.activity
     }
+
+    fn inject_table_fault(&mut self, entropy: u64) -> bool {
+        self.pmt.corrupt(entropy)
+    }
 }
 
 /// The dictionary decoder for one node — identical for DI-COMP and DI-VAXX

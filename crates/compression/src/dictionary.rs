@@ -136,16 +136,16 @@ impl DecoderPmt {
             }
         } else {
             if self.candidates.len() == CANDIDATE_ENTRIES {
-                // Evict the coldest candidate.
-                let coldest = self
+                // Evict the coldest candidate (a full table has a minimum).
+                if let Some(coldest) = self
                     .candidates
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, c)| c.1)
                     .map(|(i, _)| i)
-                    // anoc-lint: allow(C001): min over a table just checked to be full
-                    .expect("candidate table is non-empty");
-                self.candidates.swap_remove(coldest);
+                {
+                    self.candidates.swap_remove(coldest);
+                }
             }
             self.candidates.push((word, 1));
         }
@@ -159,27 +159,30 @@ impl DecoderPmt {
         let slot = match self.slots.iter().position(Option::is_none) {
             Some(empty) => empty,
             None => {
-                let victim_idx = self
+                // A zero-slot PMT can store nothing; drop the promotion.
+                let Some(victim_idx) = self
                     .slots
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, s)| s.as_ref().map(|e| e.freq).unwrap_or(0))
                     .map(|(i, _)| i)
-                    // anoc-lint: allow(C001): PMT_ENTRIES is a non-zero const
-                    .expect("PMT has at least one slot");
-                let victim = self.slots[victim_idx]
-                    .take()
-                    // anoc-lint: allow(C001): victim index came from a full slot scan
-                    .expect("victim slot is occupied");
-                for (node, valid) in victim.valid.iter().enumerate() {
-                    if *valid {
-                        notes.push((
-                            NodeId::from(node),
-                            Notification::Invalidate {
-                                pattern: victim.pattern,
-                            },
-                        ));
+                else {
+                    return notes;
+                };
+                // The full-table scan above guarantees the slot is occupied.
+                if let Some(victim) = self.slots[victim_idx].take() {
+                    for (node, valid) in victim.valid.iter().enumerate() {
+                        if *valid {
+                            notes.push((
+                                NodeId::from(node),
+                                Notification::Invalidate {
+                                    pattern: victim.pattern,
+                                },
+                            ));
+                        }
                     }
+                } else {
+                    debug_assert!(false, "victim slot in a full PMT is occupied");
                 }
                 victim_idx
             }
@@ -323,15 +326,17 @@ impl EncoderPmt {
         }
         if self.entries.len() == self.capacity {
             // Evict the LFU entry; its per-destination indices simply stop
-            // being used (the decoders keep their own state).
-            let victim = self
+            // being used (the decoders keep their own state). A zero-capacity
+            // PMT (no victim in a "full" empty table) stores nothing.
+            let Some(victim) = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.freq)
                 .map(|(i, _)| i)
-                // anoc-lint: allow(C001): min over a table just checked to be full
-                .expect("PMT is full, hence non-empty");
+            else {
+                return;
+            };
             self.entries.swap_remove(victim);
         }
         let mut per_dest = vec![None; self.num_nodes];
@@ -401,6 +406,26 @@ impl EncoderPmt {
     pub fn decay(&mut self) {
         for e in &mut self.entries {
             e.freq /= 2;
+        }
+    }
+
+    /// Fault-injection hook: flips one bit of one stored original pattern,
+    /// all chosen by `entropy`. The corrupted record keeps encoding against
+    /// the wrong original — the realistic silent-data-corruption mode of a
+    /// soft error in the PMT storage array. Returns whether a record was hit
+    /// (the addressed per-destination slot may be empty).
+    pub fn corrupt(&mut self, entropy: u64) -> bool {
+        if self.entries.is_empty() || self.num_nodes == 0 {
+            return false;
+        }
+        let entry = (entropy as usize) % self.entries.len();
+        let dest = ((entropy >> 16) as usize) % self.num_nodes;
+        let bit = ((entropy >> 40) % u32::BITS as u64) as u32;
+        if let Some(rec) = &mut self.entries[entry].per_dest[dest] {
+            rec.original ^= 1 << bit;
+            true
+        } else {
+            false
         }
     }
 }

@@ -102,22 +102,20 @@ impl BlockEncoder for FpEncoder {
         for &word in block.words() {
             self.activity.words_encoded += 1;
             self.activity.cam_searches += 1;
-            let mask = if approx_on {
-                self.activity.avcl_ops += 1;
-                let avcl = match &self.window {
-                    // Windowed mode: the allowance for this word is whatever
-                    // the window budget has left.
-                    Some(budget) => Avcl::with_policy(
-                        budget.next_threshold(),
-                        // anoc-lint: allow(C001): approx_on is only set when an AVCL is installed
-                        self.avcl.expect("approx_on implies avcl").policy(),
-                    ),
-                    // anoc-lint: allow(C001): approx_on is only set when an AVCL is installed
-                    None => self.avcl.expect("approx_on implies avcl"),
-                };
-                avcl.approx_pattern(word, block.dtype()).mask()
-            } else {
-                0
+            let mask = match self.avcl {
+                Some(installed) if approx_on => {
+                    self.activity.avcl_ops += 1;
+                    let avcl = match &self.window {
+                        // Windowed mode: the allowance for this word is
+                        // whatever the window budget has left.
+                        Some(budget) => {
+                            Avcl::with_policy(budget.next_threshold(), installed.policy())
+                        }
+                        None => installed,
+                    };
+                    avcl.approx_pattern(word, block.dtype()).mask()
+                }
+                _ => 0,
             };
             let matched = fpc::best_match(word, mask);
             if let Some(budget) = &mut self.window {
@@ -203,9 +201,13 @@ impl BlockDecoder for FpDecoder {
                 WordCode::Raw { word, .. } => words.push(word),
                 WordCode::ZeroRun { len } => words.extend(std::iter::repeat_n(0u32, len as usize)),
                 WordCode::Pattern { index, adjunct, .. } => {
-                    let class = FpcClass::from_index(index)
-                        // anoc-lint: allow(C001): decoder consumes only encoder-produced indices
-                        .expect("FP encoder emits only valid pattern indices");
+                    // The encoder emits only valid pattern indices; deliver
+                    // the adjunct raw rather than crash if one ever slips.
+                    let Some(class) = FpcClass::from_index(index) else {
+                        debug_assert!(false, "invalid FP pattern index {index}");
+                        words.push(adjunct);
+                        continue;
+                    };
                     if class == FpcClass::Zero {
                         words.extend(std::iter::repeat_n(0u32, adjunct as usize));
                     } else {

@@ -345,6 +345,14 @@ pub trait BlockEncoder {
     fn activity(&self) -> CodecActivity {
         CodecActivity::default()
     }
+
+    /// Fault-injection hook: corrupts one stored dictionary/table entry
+    /// using `entropy` to pick it. Returns whether anything was corrupted —
+    /// the default (for table-less mechanisms) corrupts nothing.
+    fn inject_table_fault(&mut self, entropy: u64) -> bool {
+        let _ = entropy;
+        false
+    }
 }
 
 /// A block decompression decoder living in a destination NI.

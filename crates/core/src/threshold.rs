@@ -150,8 +150,8 @@ impl ErrorThreshold {
 impl Default for ErrorThreshold {
     /// The paper's default operating point: 10%.
     fn default() -> Self {
-        // anoc-lint: allow(C001): constant 10 is always a valid percentage
-        ErrorThreshold::from_percent(10).expect("10 is a valid percentage")
+        // 10 is always a valid percentage; keep the constructor total.
+        ErrorThreshold::from_percent(10).unwrap_or_else(|_| ErrorThreshold::exact())
     }
 }
 

@@ -1,0 +1,119 @@
+//! The end-to-end matching guarantee behind the fault campaign's bound
+//! checker: whenever a Guaranteed-policy AVCL *accepts* an approximate match
+//! between a word and a dictionary reference, the delivered value is within
+//! the configured error threshold — over random words, references,
+//! thresholds and data types. This is exactly the invariant
+//! `NocSim::set_bound_check` audits on every delivered word, so any
+//! counterexample here would be a latent fatal `SimError::BoundViolation`.
+
+use anoc_core::avcl::{Avcl, MaskPolicy};
+use anoc_core::data::DataType;
+use anoc_core::threshold::ErrorThreshold;
+use proptest::prelude::*;
+
+fn check_accepted_error(avcl: &Avcl, word: u32, reference: u32, dtype: DataType, pct: u32) {
+    if !avcl.accepts(word, reference, dtype) {
+        return;
+    }
+    // An accepted match means `reference` is delivered in place of `word`.
+    match Avcl::relative_error(word, reference, dtype) {
+        Some(err) => assert!(
+            err <= pct as f64 / 100.0 + 1e-6,
+            "{dtype:?} word={word:#010x} ref={reference:#010x} pct={pct} err={err}"
+        ),
+        // Incomparable values (float specials) may only match exactly.
+        None => assert_eq!(
+            word, reference,
+            "{dtype:?} accepted an incomparable non-identical pair"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// Random integer word/reference pairs: acceptance implies the bound.
+    #[test]
+    fn accepted_int_matches_respect_the_bound(
+        pct in 1u32..=100,
+        word in any::<u32>(),
+        reference in any::<u32>(),
+    ) {
+        let avcl = Avcl::new(ErrorThreshold::from_percent(pct).unwrap());
+        check_accepted_error(&avcl, word, reference, DataType::Int, pct);
+    }
+
+    /// Near-miss integer pairs (reference = word + small delta) sit right at
+    /// the acceptance boundary, where an off-by-one in the mask width would
+    /// first leak past the bound.
+    #[test]
+    fn near_boundary_int_matches_respect_the_bound(
+        pct in 1u32..=100,
+        word in any::<u32>(),
+        delta in -65_536i64..=65_536,
+    ) {
+        let avcl = Avcl::new(ErrorThreshold::from_percent(pct).unwrap());
+        let reference = (word as i64).wrapping_add(delta) as u32;
+        check_accepted_error(&avcl, word, reference, DataType::Int, pct);
+    }
+
+    /// Random float bit patterns, including specials: acceptance implies the
+    /// bound (or exactness where relative error is undefined).
+    #[test]
+    fn accepted_float_matches_respect_the_bound(
+        pct in 1u32..=100,
+        word in any::<u32>(),
+        reference in any::<u32>(),
+    ) {
+        let avcl = Avcl::new(ErrorThreshold::from_percent(pct).unwrap());
+        check_accepted_error(&avcl, word, reference, DataType::F32, pct);
+    }
+
+    /// Floats that share an exponent with the word are the realistic
+    /// dictionary-hit population; drive the mantissa distance directly.
+    #[test]
+    fn same_exponent_float_matches_respect_the_bound(
+        pct in 1u32..=100,
+        value in prop::num::f32::NORMAL,
+        mantissa_noise in 0u32..(1 << 23),
+    ) {
+        let avcl = Avcl::new(ErrorThreshold::from_percent(pct).unwrap());
+        let word = value.to_bits();
+        let reference = (word & !((1u32 << 23) - 1)) | mantissa_noise;
+        check_accepted_error(&avcl, word, reference, DataType::F32, pct);
+    }
+
+    /// The exact threshold accepts only identical words, for every dtype.
+    #[test]
+    fn exact_threshold_accepts_only_identity(
+        word in any::<u32>(),
+        reference in any::<u32>(),
+    ) {
+        let avcl = Avcl::new(ErrorThreshold::exact());
+        for dtype in [DataType::Int, DataType::F32] {
+            if avcl.accepts(word, reference, dtype) {
+                prop_assert_eq!(word, reference);
+            }
+        }
+        prop_assert!(avcl.accepts(word, word, DataType::Int));
+    }
+
+    /// The Guaranteed policy is what the simulator's bound checker assumes;
+    /// it must never be laxer than the threshold even where the Relaxed
+    /// policy is.
+    #[test]
+    fn guaranteed_policy_is_never_laxer_than_relaxed_bound(
+        pct in 1u32..=100,
+        word in any::<u32>(),
+        reference in any::<u32>(),
+    ) {
+        let guaranteed = Avcl::new(ErrorThreshold::from_percent(pct).unwrap());
+        let relaxed = Avcl::with_policy(
+            ErrorThreshold::from_percent(pct).unwrap(),
+            MaskPolicy::Relaxed,
+        );
+        if guaranteed.accepts(word, reference, DataType::Int) {
+            prop_assert!(relaxed.accepts(word, reference, DataType::Int));
+        }
+    }
+}

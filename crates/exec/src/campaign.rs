@@ -37,6 +37,21 @@ impl<T> JobSpec<T> {
             work: Box::new(work),
         }
     }
+
+    /// Post-processes the job's result with `f`, keeping id and key — e.g.
+    /// wrapping an infallible job for [`run_campaign_checked`] with
+    /// `job.map(Ok)`.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U + Send + 'static) -> JobSpec<U>
+    where
+        T: 'static,
+    {
+        let work = self.work;
+        JobSpec {
+            id: self.id,
+            key: self.key,
+            work: Box::new(move || f(work())),
+        }
+    }
 }
 
 /// Serializes results to and from the cache's text payloads.
@@ -104,6 +119,78 @@ impl CampaignReport {
     }
 }
 
+/// Why one campaign cell produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// The cell's closure panicked; the payload message is carried.
+    Panicked(String),
+    /// The cell completed but reported a typed failure (e.g. a simulation
+    /// watchdog abort), with its diagnostic rendering.
+    Failed(String),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            CellError::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+/// One failed cell of a checked campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Position in the plan.
+    pub index: usize,
+    /// The cell's stable identifier.
+    pub id: String,
+    /// What went wrong.
+    pub error: CellError,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} ({}) {}", self.index, self.id, self.error)
+    }
+}
+
+/// The outcome of a checked campaign: per-cell results in plan order
+/// (`None` where the cell failed), the failures, and the usual report.
+#[derive(Debug)]
+pub struct CampaignOutcome<T> {
+    /// Results in plan order; `None` exactly at the failed cells.
+    pub results: Vec<Option<T>>,
+    /// Every failed cell, in plan order.
+    pub failures: Vec<CellFailure>,
+    /// Execution statistics.
+    pub report: CampaignReport,
+}
+
+impl<T> CampaignOutcome<T> {
+    /// Whether every cell succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Attempts a cache write with bounded retries (transient filesystem
+/// failures — e.g. a concurrent cleaner — should not cost a re-simulation
+/// next run). The final error is reported to stderr, never propagated.
+fn cache_put_with_retry(store: &ResultCache, key: &str, payload: &str, label: &str, id: &str) {
+    const ATTEMPTS: usize = 3;
+    let mut last_err = None;
+    for _ in 0..ATTEMPTS {
+        match store.put(key, payload) {
+            Ok(()) => return,
+            Err(err) => last_err = Some(err),
+        }
+    }
+    if let Some(err) = last_err {
+        eprintln!("[{label}] cache write failed for {id} after {ATTEMPTS} attempts: {err}");
+    }
+}
+
 /// Runs a campaign on `pool`, optionally backed by `cache`, and returns the
 /// results **in plan order** plus a report.
 ///
@@ -114,6 +201,12 @@ impl CampaignReport {
 /// Cache misses and decode failures re-run the job; fresh results are
 /// written back. Cache write errors are reported to stderr but never fail
 /// the campaign.
+///
+/// # Panics
+///
+/// If any cell panics, panics after all cells have finished with a `String`
+/// payload listing every failed cell. Campaigns that must survive failing
+/// cells use [`run_campaign_checked`] instead.
 pub fn run_campaign<T: Send + 'static>(
     pool: &ThreadPool,
     cache: Option<(&ResultCache, &dyn ResultCodec<T>)>,
@@ -121,6 +214,45 @@ pub fn run_campaign<T: Send + 'static>(
     options: &CampaignOptions,
     cycles_of: Option<fn(&T) -> u64>,
 ) -> (Vec<T>, CampaignReport) {
+    let jobs: Vec<JobSpec<Result<T, String>>> = jobs
+        .into_iter()
+        .map(|job| {
+            let work = job.work;
+            JobSpec {
+                id: job.id,
+                key: job.key,
+                work: Box::new(move || Ok(work())),
+            }
+        })
+        .collect();
+    let outcome = run_campaign_checked(pool, cache, jobs, options, cycles_of);
+    if !outcome.failures.is_empty() {
+        let mut report = format!("{} campaign cell(s) failed:", outcome.failures.len());
+        for f in &outcome.failures {
+            report.push_str(&format!("\n  {f}"));
+        }
+        std::panic::panic_any(report);
+    }
+    let results = outcome
+        .results
+        .into_iter()
+        .map(|s| s.expect("no failures, so every plan slot is filled"))
+        .collect();
+    (results, outcome.report)
+}
+
+/// The fault-tolerant variant of [`run_campaign`]: cells return
+/// `Result<T, String>` and may panic; both failure modes are isolated per
+/// cell. The campaign always runs to completion, successful cells are
+/// cached, and failures come back typed in the [`CampaignOutcome`] instead
+/// of unwinding.
+pub fn run_campaign_checked<T: Send + 'static>(
+    pool: &ThreadPool,
+    cache: Option<(&ResultCache, &dyn ResultCodec<T>)>,
+    jobs: Vec<JobSpec<Result<T, String>>>,
+    options: &CampaignOptions,
+    cycles_of: Option<fn(&T) -> u64>,
+) -> CampaignOutcome<T> {
     let start = Instant::now();
     let total = jobs.len();
     let progress = Arc::new(Progress::with_enabled(
@@ -129,9 +261,10 @@ pub fn run_campaign<T: Send + 'static>(
         !options.quiet && crate::progress::enabled(),
     ));
 
-    // Phase 1: resolve what the cache already knows.
+    // Phase 1: resolve what the cache already knows (only successes are
+    // ever cached, so a hit is always an `Ok` cell).
     let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
-    let mut misses: Vec<(usize, JobSpec<T>)> = Vec::new();
+    let mut misses: Vec<(usize, JobSpec<Result<T, String>>)> = Vec::new();
     let mut cache_hits = 0;
     for (idx, job) in jobs.into_iter().enumerate() {
         let cached = cache
@@ -150,12 +283,13 @@ pub fn run_campaign<T: Send + 'static>(
     }
     progress.cache_hits(cache_hits);
 
-    // Phase 2: execute the misses in parallel.
+    // Phase 2: execute the misses in parallel, isolating panics per cell.
     let executed = misses.len();
     let ids: Vec<String> = misses.iter().map(|(_, j)| j.id.clone()).collect();
     let keys: Vec<String> = misses.iter().map(|(_, j)| j.key.clone()).collect();
     let plan_indices: Vec<usize> = misses.iter().map(|(idx, _)| *idx).collect();
-    let tasks: Vec<Box<dyn FnOnce() -> (Duration, T) + Send>> = misses
+    type TimedTask<T> = Box<dyn FnOnce() -> (Duration, Result<T, String>) + Send>;
+    let tasks: Vec<TimedTask<T>> = misses
         .into_iter()
         .map(|(_, job)| {
             let progress = Arc::clone(&progress);
@@ -165,35 +299,58 @@ pub fn run_campaign<T: Send + 'static>(
                 let t = Instant::now();
                 let value = work();
                 (t.elapsed(), value)
-            }) as Box<dyn FnOnce() -> (Duration, T) + Send>
+            }) as TimedTask<T>
         })
         .collect();
-    let fresh = pool.run_ordered_observed(tasks, |i, (wall, value)| {
-        progress.job_finished(&ids[i], *wall, cycles_of.map(|f| f(value)));
+    let fresh = pool.run_ordered_results_observed(tasks, |i, (wall, value)| {
+        let cycles = match value {
+            Ok(v) => cycles_of.map(|f| f(v)),
+            Err(_) => None,
+        };
+        progress.job_finished(&ids[i], *wall, cycles);
     });
 
-    // Phase 3: write back and merge in plan order.
+    // Phase 3: write back successes and merge in plan order.
     let mut sim_cycles = 0u64;
     let mut exec_wall = Duration::ZERO;
-    for (i, (wall, value)) in fresh.into_iter().enumerate() {
-        sim_cycles += cycles_of.map_or(0, |f| f(&value));
-        exec_wall += wall;
-        if let Some((store, codec)) = cache.as_ref() {
-            if let Err(err) = store.put(&keys[i], &codec.encode(&value)) {
-                eprintln!(
-                    "[{}] cache write failed for {}: {err}",
-                    options.label, ids[i]
-                );
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for (i, outcome) in fresh.into_iter().enumerate() {
+        let index = plan_indices[i];
+        match outcome {
+            Ok((wall, Ok(value))) => {
+                sim_cycles += cycles_of.map_or(0, |f| f(&value));
+                exec_wall += wall;
+                if let Some((store, codec)) = cache.as_ref() {
+                    cache_put_with_retry(
+                        store,
+                        &keys[i],
+                        &codec.encode(&value),
+                        &options.label,
+                        &ids[i],
+                    );
+                }
+                slots[index] = Some(value);
+            }
+            Ok((wall, Err(msg))) => {
+                exec_wall += wall;
+                failures.push(CellFailure {
+                    index,
+                    id: ids[i].clone(),
+                    error: CellError::Failed(msg),
+                });
+            }
+            Err(panic_msg) => {
+                failures.push(CellFailure {
+                    index,
+                    id: ids[i].clone(),
+                    error: CellError::Panicked(panic_msg),
+                });
             }
         }
-        slots[plan_indices[i]] = Some(value);
     }
     progress.finish(executed);
+    failures.sort_by_key(|f| f.index);
 
-    let results = slots
-        .into_iter()
-        .map(|s| s.expect("every plan slot filled"))
-        .collect();
     let report = CampaignReport {
         jobs: total,
         cache_hits,
@@ -202,7 +359,11 @@ pub fn run_campaign<T: Send + 'static>(
         sim_cycles,
         exec_wall,
     };
-    (results, report)
+    CampaignOutcome {
+        results: slots,
+        failures,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +526,80 @@ mod tests {
         assert_eq!(warm.sim_cycles, 0);
         assert_eq!(warm.cycles_per_second(), 0.0);
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn checked_campaign_survives_panics_and_failures() {
+        let pool = ThreadPool::new(4);
+        let cache = temp_cache("checked");
+        let codec = U64Codec;
+        let jobs: Vec<JobSpec<Result<u64, String>>> = (0..6u64)
+            .map(|i| {
+                JobSpec::new(
+                    format!("c/{i}"),
+                    format!("checked v1 n={i}"),
+                    move || match i {
+                        2 => panic!("cell 2 blew up"),
+                        4 => Err("watchdog tripped".to_string()),
+                        _ => Ok(i * 100),
+                    },
+                )
+            })
+            .collect();
+        let outcome = run_campaign_checked(
+            &pool,
+            Some((&cache, &codec)),
+            jobs,
+            &CampaignOptions::quiet(),
+            None,
+        );
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.failures.len(), 2);
+        assert_eq!(outcome.failures[0].index, 2);
+        assert_eq!(
+            outcome.failures[0].error,
+            CellError::Panicked("cell 2 blew up".to_string())
+        );
+        assert_eq!(outcome.failures[1].index, 4);
+        assert_eq!(
+            outcome.failures[1].error,
+            CellError::Failed("watchdog tripped".to_string())
+        );
+        for (i, slot) in outcome.results.iter().enumerate() {
+            if i == 2 || i == 4 {
+                assert!(slot.is_none());
+            } else {
+                assert_eq!(*slot, Some(i as u64 * 100));
+            }
+        }
+        // Only the successes were cached.
+        assert_eq!(cache.get("checked v1 n=0").as_deref(), Some("0"));
+        assert!(cache.get("checked v1 n=2").is_none());
+        assert!(cache.get("checked v1 n=4").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn unchecked_campaign_reports_every_failed_cell() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<JobSpec<u64>> = (0..5u64)
+            .map(|i| {
+                JobSpec::new(format!("p/{i}"), format!("k/{i}"), move || {
+                    if i % 2 == 1 {
+                        panic!("odd cell {i}");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_campaign(&pool, None, jobs, &CampaignOptions::quiet(), None)
+        }))
+        .expect_err("campaign with panicking cells must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("2 campaign cell(s) failed"), "{msg}");
+        assert!(msg.contains("odd cell 1"), "{msg}");
+        assert!(msg.contains("odd cell 3"), "{msg}");
     }
 
     #[test]

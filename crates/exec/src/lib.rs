@@ -43,5 +43,8 @@ pub mod pool;
 pub mod progress;
 
 pub use cache::ResultCache;
-pub use campaign::{run_campaign, CampaignOptions, CampaignReport, JobSpec, ResultCodec};
+pub use campaign::{
+    run_campaign, run_campaign_checked, CampaignOptions, CampaignOutcome, CampaignReport,
+    CellError, CellFailure, JobSpec, ResultCodec,
+};
 pub use pool::ThreadPool;

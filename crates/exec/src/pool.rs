@@ -75,8 +75,8 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Re-throws the panic of the first (in submission order) job that
-    /// panicked, after all jobs have finished.
+    /// After all jobs have finished, panics with a `String` payload listing
+    /// **every** job that panicked (index and message), not just the first.
     pub fn run_ordered<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
@@ -90,8 +90,47 @@ impl ThreadPool {
     pub fn run_ordered_observed<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
-        mut observe: impl FnMut(usize, &T),
+        observe: impl FnMut(usize, &T),
     ) -> Vec<T> {
+        let results = self.run_ordered_results_observed(jobs, observe);
+        let mut values = Vec::with_capacity(results.len());
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (idx, outcome) in results.into_iter().enumerate() {
+            match outcome {
+                Ok(value) => values.push(value),
+                Err(msg) => failures.push((idx, msg)),
+            }
+        }
+        if !failures.is_empty() {
+            // Every failed job is reported, not just the first-by-index one:
+            // a campaign debugging session needs the full picture in one shot.
+            let mut report = format!("{} job(s) panicked:", failures.len());
+            for (idx, msg) in &failures {
+                report.push_str(&format!("\n  job {idx}: {msg}"));
+            }
+            resume_unwind(Box::new(report));
+        }
+        values
+    }
+
+    /// Runs every job, isolating panics per job: the result vector is in
+    /// submission order with `Err(message)` for jobs that panicked. Never
+    /// panics itself; the pool stays usable afterwards.
+    pub fn run_ordered_results<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<Result<T, String>> {
+        self.run_ordered_results_observed(jobs, |_, _| {})
+    }
+
+    /// [`run_ordered_results`](Self::run_ordered_results) with a completion
+    /// observer: `observe(index, &result)` runs on the submitting thread as
+    /// each successful result arrives (completion order).
+    pub fn run_ordered_results_observed<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+        mut observe: impl FnMut(usize, &T),
+    ) -> Vec<Result<T, String>> {
         let n = jobs.len();
         let (tx, rx) = channel();
         for (idx, job) in jobs.into_iter().enumerate() {
@@ -104,25 +143,34 @@ impl ThreadPool {
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let mut panics = Vec::new();
+        let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (idx, outcome) = rx.recv().expect("worker died without reporting");
             match outcome {
                 Ok(value) => {
                     observe(idx, &value);
-                    slots[idx] = Some(value);
+                    slots[idx] = Some(Ok(value));
                 }
-                Err(payload) => panics.push((idx, payload)),
+                Err(payload) => slots[idx] = Some(Err(panic_message(payload.as_ref()))),
             }
-        }
-        if let Some((_, payload)) = panics.into_iter().min_by_key(|(idx, _)| *idx) {
-            resume_unwind(payload);
         }
         slots
             .into_iter()
             .map(|s| s.expect("every job reported exactly once"))
             .collect()
+    }
+}
+
+/// Extracts the human-readable message of a panic payload (`String` or
+/// `&str` payloads, which is what `panic!` produces; anything else gets a
+/// placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -222,6 +270,56 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
             vec![Box::new(|| 7usize) as Box<dyn FnOnce() -> usize + Send>];
         assert_eq!(pool.run_ordered(jobs), vec![7]);
+    }
+
+    #[test]
+    fn every_panicked_job_is_reported() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 3 == 1 {
+                        panic!("job {i} failed");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run_ordered(jobs)))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        for i in [1usize, 4, 7] {
+            assert!(msg.contains(&format!("job {i} failed")), "{msg}");
+        }
+        assert!(msg.contains("3 job(s) panicked"), "{msg}");
+    }
+
+    #[test]
+    fn results_api_isolates_panics_per_job() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..5usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("boom {i}");
+                    }
+                    i * 10
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = pool.run_ordered_results(jobs);
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(r.as_ref().unwrap_err(), "boom 2");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 10);
+            }
+        }
+        // The pool is still usable afterwards.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>];
+        assert_eq!(pool.run_ordered(jobs), vec![1]);
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! are the same computation share a key across figures — a `fig13` rerun
 //! reuses the matrix cells `fig9` already paid for.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Duration;
 
 use anoc_exec::{
-    run_campaign, CampaignOptions, CampaignReport, JobSpec, ResultCache, ResultCodec, ThreadPool,
+    run_campaign, run_campaign_checked, CampaignOptions, CampaignReport, CellFailure, JobSpec,
+    ResultCache, ResultCodec, ThreadPool,
 };
 use anoc_traffic::{Benchmark, DestPattern};
 
@@ -43,6 +44,8 @@ pub struct ExecContext {
     sim_cycles: AtomicU64,
     wall_nanos: AtomicU64,
     executed_jobs: AtomicU64,
+    keep_going: AtomicBool,
+    failed_cells: AtomicU64,
 }
 
 impl ExecContext {
@@ -53,6 +56,8 @@ impl ExecContext {
             sim_cycles: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
             executed_jobs: AtomicU64::new(0),
+            keep_going: AtomicBool::new(false),
+            failed_cells: AtomicU64::new(0),
         }
     }
 }
@@ -113,13 +118,53 @@ impl ExecContext {
         self.cache.as_ref()
     }
 
+    /// Enables (or disables) keep-going mode: campaigns run to completion
+    /// past failed cells, substituting [`RunResult::failed_sentinel`]s and
+    /// counting the failures instead of panicking.
+    pub fn set_keep_going(&self, enabled: bool) {
+        self.keep_going.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether keep-going mode is on.
+    pub fn keep_going(&self) -> bool {
+        self.keep_going.load(Ordering::Relaxed)
+    }
+
+    /// Failed cells accumulated across every keep-going campaign (the CLI
+    /// turns a nonzero count into a nonzero exit code).
+    pub fn failed_cells(&self) -> u64 {
+        self.failed_cells.load(Ordering::Relaxed)
+    }
+
     /// Runs a campaign plan, returning results in plan order.
+    ///
+    /// Under [keep-going](Self::set_keep_going) mode, failed cells come back
+    /// as [`RunResult::failed_sentinel`]s (reported on stderr and counted in
+    /// [`failed_cells`](Self::failed_cells)); otherwise a failed cell
+    /// panics after the whole plan has run.
     pub fn run(&self, label: &str, jobs: Vec<JobSpec<RunResult>>) -> Vec<RunResult> {
-        self.run_reported(label, jobs).0
+        if self.keep_going() {
+            let jobs: Vec<JobSpec<Result<RunResult, String>>> =
+                jobs.into_iter().map(|job| job.map(Ok)).collect();
+            let (results, failures, _) = self.run_checked(label, jobs);
+            if !failures.is_empty() {
+                eprintln!("[{label}] {} cell(s) failed:", failures.len());
+                for f in &failures {
+                    eprintln!("[{label}]   {f}");
+                }
+            }
+            results
+                .into_iter()
+                .map(|slot| slot.unwrap_or_else(RunResult::failed_sentinel))
+                .collect()
+        } else {
+            self.run_reported(label, jobs).0
+        }
     }
 
     /// [`run`](Self::run) plus the campaign report (for CLI summaries and
-    /// the cache tests).
+    /// the cache tests). Always panics on cell failure, regardless of
+    /// keep-going mode.
     pub fn run_reported(
         &self,
         label: &str,
@@ -136,13 +181,44 @@ impl ExecContext {
             &CampaignOptions::labeled(label),
             Some(|r: &RunResult| r.total_cycles),
         );
+        self.record_report(&report);
+        (results, report)
+    }
+
+    /// Runs a fault-tolerant campaign: cells return `Result<RunResult,
+    /// String>` and may panic; both failure modes are isolated per cell and
+    /// returned typed. Results come back in plan order with `None` at the
+    /// failed cells. Failures are counted in
+    /// [`failed_cells`](Self::failed_cells).
+    pub fn run_checked(
+        &self,
+        label: &str,
+        jobs: Vec<JobSpec<Result<RunResult, String>>>,
+    ) -> (Vec<Option<RunResult>>, Vec<CellFailure>, CampaignReport) {
+        let binding = self
+            .cache
+            .as_ref()
+            .map(|c| (c, &RunResultCodec as &dyn ResultCodec<RunResult>));
+        let outcome = run_campaign_checked(
+            &self.pool,
+            binding,
+            jobs,
+            &CampaignOptions::labeled(label),
+            Some(|r: &RunResult| r.total_cycles),
+        );
+        self.record_report(&outcome.report);
+        self.failed_cells
+            .fetch_add(outcome.failures.len() as u64, Ordering::Relaxed);
+        (outcome.results, outcome.failures, outcome.report)
+    }
+
+    fn record_report(&self, report: &CampaignReport) {
         self.sim_cycles
             .fetch_add(report.sim_cycles, Ordering::Relaxed);
         self.wall_nanos
             .fetch_add(report.wall.as_nanos() as u64, Ordering::Relaxed);
         self.executed_jobs
             .fetch_add(report.executed as u64, Ordering::Relaxed);
-        (results, report)
     }
 
     /// Totals accumulated over every campaign this context has run.
@@ -156,11 +232,13 @@ impl ExecContext {
 }
 
 /// The canonical single-line rendering of a [`SystemConfig`]: every field
-/// that influences a simulation, floats by their exact bits.
+/// that influences a simulation, floats by their exact bits. The fault plan
+/// is part of the key, so cached healthy results are never confused with
+/// fault-injected ones (and vice versa).
 pub fn config_key(c: &SystemConfig) -> String {
     let n = &c.noc;
     format!(
-        "noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} thr={} ar={:016x} warm={} sim={} drain={}",
+        "noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} thr={} ar={:016x} warm={} sim={} drain={} flt={{{}}} wd={}",
         n.width,
         n.height,
         n.concentration,
@@ -175,6 +253,8 @@ pub fn config_key(c: &SystemConfig) -> String {
         c.warmup_cycles,
         c.sim_cycles,
         c.drain_cycles,
+        c.faults.key_fragment(),
+        c.watchdog_horizon,
     )
 }
 
@@ -228,6 +308,26 @@ pub fn benchmark_job(
     })
 }
 
+/// The fault-tolerant sibling of [`benchmark_job`]: the cell returns `Err`
+/// (instead of panicking) when the watchdog or bound checker aborts the
+/// simulation, so [`ExecContext::run_checked`] campaigns survive it. Shares
+/// the `bench` cell key — a successful checked cell and an unchecked cell
+/// with the same inputs are the same computation.
+pub fn checked_benchmark_job(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+) -> JobSpec<Result<RunResult, String>> {
+    let id = format!("{}/{}/s{seed}", benchmark.name(), mechanism.name());
+    let key = cell_key("bench", config, mechanism.name(), benchmark.name(), seed);
+    let config = config.clone();
+    JobSpec::new(id, key, move || {
+        crate::runner::try_run_benchmark(benchmark, mechanism, &config, seed)
+            .map_err(|e| e.to_string())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +339,9 @@ mod tests {
             base.clone().with_sim_cycles(1_000),
             base.clone().with_threshold(5),
             base.clone().with_approx_ratio(0.5),
+            base.clone()
+                .with_faults(anoc_noc::FaultPlan::bit_flips(1, 100)),
+            base.clone().with_watchdog(0),
             SystemConfig::full_system(),
         ];
         let k0 = config_key(&base);

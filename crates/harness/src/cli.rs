@@ -39,6 +39,7 @@ const USAGE: &str = "usage: anoc run <TARGET> [OPTIONS]
 
 targets:
   table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 extensions
+  faults      fault-injection resilience sweep (latency/quality vs flip rate)
   all         every table and figure in order
   ablations   the sensitivity studies: fig13, fig14 and the extension study
 
@@ -48,6 +49,7 @@ options:
   --threads N   worker threads (default: ANOC_THREADS or all cores)
   --no-cache    always simulate; do not read or write the result cache
   --csv         emit CSV instead of a text table
+  --keep-going  complete campaigns past failed cells (exit 3 if any failed)
   --out PATH    output path (fig17 image directory, capture/replay trace)
 
 lint options:
@@ -55,7 +57,7 @@ lint options:
   --deny        treat warnings as errors (what CI runs)";
 
 /// All figure/table targets of `anoc run`, in `all` order.
-const TARGETS: [&str; 11] = [
+const TARGETS: [&str; 12] = [
     "table1",
     "fig9",
     "fig10",
@@ -67,6 +69,7 @@ const TARGETS: [&str; 11] = [
     "fig16",
     "fig17",
     "extensions",
+    "faults",
 ];
 
 /// The sensitivity/ablation subset behind `anoc run ablations`.
@@ -79,6 +82,7 @@ struct Opts {
     threads: Option<usize>,
     no_cache: bool,
     csv: bool,
+    keep_going: bool,
     out: Option<String>,
 }
 
@@ -90,6 +94,7 @@ impl Default for Opts {
             threads: None,
             no_cache: false,
             csv: false,
+            keep_going: false,
             out: None,
         }
     }
@@ -125,6 +130,15 @@ fn run_argv(argv: &[String]) -> i32 {
         // bypasses the Ok/Err mapping below.
         Ok(Command::Lint { args }) => anoc_lint::run_cli(&args),
         Ok(cmd) => match execute(cmd) {
+            // Completed-but-degraded campaigns (keep-going mode or a faults
+            // sweep with aborted cells) exit 3, distinct from hard errors.
+            Ok(()) if campaign::context().failed_cells() > 0 => {
+                eprintln!(
+                    "warning: {} cell(s) failed; results are partial",
+                    campaign::context().failed_cells()
+                );
+                3
+            }
             Ok(()) => 0,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -185,6 +199,7 @@ fn parse(argv: &[String]) -> Result<Command, String> {
             "--threads" => opts.threads = Some(num("--threads")?.max(1) as usize),
             "--no-cache" => opts.no_cache = true,
             "--csv" => opts.csv = true,
+            "--keep-going" => opts.keep_going = true,
             "--out" => opts.out = Some(it.next().ok_or("--out needs a path")?.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -207,6 +222,7 @@ fn install_context(opts: &Opts) -> Result<(), String> {
         )
     };
     campaign::configure(opts.threads, cache);
+    campaign::context().set_keep_going(opts.keep_going);
     Ok(())
 }
 
@@ -336,6 +352,21 @@ fn run_target(target: &str, opts: &Opts) -> Result<(), String> {
             Ok(())
         }
         "fig17" => fig17(opts),
+        "faults" => {
+            let cfg = config(opts, 15_000);
+            let rates: [u32; 5] = [0, 100, 1_000, 10_000, 100_000];
+            let (points, failures) =
+                experiments::faults_sweep(Benchmark::Blackscholes, &rates, &cfg, cfg.seed);
+            if opts.csv {
+                print!("{}", experiments::faults_csv(&points));
+            } else {
+                print!(
+                    "{}",
+                    experiments::render_faults(Benchmark::Blackscholes, &points, &failures)
+                );
+            }
+            Ok(())
+        }
         "extensions" => {
             let cfg = config(opts, 20_000);
             for b in [Benchmark::Blackscholes, Benchmark::Ssca2, Benchmark::X264] {
@@ -517,6 +548,18 @@ mod tests {
                 other => panic!("wrong command {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn keep_going_and_faults_target_parse() {
+        match parse_strs(&["run", "faults", "--keep-going"]).expect("parse") {
+            Command::Run { target, opts } => {
+                assert_eq!(target, "faults");
+                assert!(opts.keep_going);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(!Opts::default().keep_going);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use anoc_compression::di::{DiConfig, DiDecoder, DiEncoder};
 use anoc_compression::fp::{FpDecoder, FpEncoder};
 use anoc_core::avcl::Avcl;
 use anoc_core::threshold::ErrorThreshold;
-use anoc_noc::{NocConfig, NodeCodec};
+use anoc_noc::{FaultPlan, NocConfig, NodeCodec};
 
 /// The five mechanisms compared throughout the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,6 +136,10 @@ pub struct SystemConfig {
     pub drain_cycles: u64,
     /// Traffic/data RNG seed used when an experiment does not override it.
     pub seed: u64,
+    /// Deterministic fault-injection plan (inert by default).
+    pub faults: FaultPlan,
+    /// Watchdog no-forward-progress horizon in cycles (0 disables).
+    pub watchdog_horizon: u64,
 }
 
 impl SystemConfig {
@@ -149,6 +153,8 @@ impl SystemConfig {
             sim_cycles: 50_000,
             drain_cycles: 50_000,
             seed: 42,
+            faults: FaultPlan::none(),
+            watchdog_horizon: 20_000,
         }
     }
 
@@ -187,6 +193,20 @@ impl SystemConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a fault-injection plan (see [`FaultPlan`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the watchdog no-forward-progress horizon (0 disables).
+    #[must_use]
+    pub fn with_watchdog(mut self, horizon: u64) -> Self {
+        self.watchdog_horizon = horizon;
         self
     }
 

@@ -6,10 +6,11 @@
 //! is a reimplemented simulator driven by modelled traffic); EXPERIMENTS.md
 //! records the shape comparison.
 
-use anoc_exec::JobSpec;
+use anoc_exec::{CellFailure, JobSpec};
+use anoc_noc::FaultPlan;
 use anoc_traffic::{Benchmark, DataPool, DestPattern, SyntheticTraffic};
 
-use crate::campaign::{benchmark_job, cell_key, context, pattern_tag};
+use crate::campaign::{benchmark_job, cell_key, checked_benchmark_job, context, pattern_tag};
 use crate::config::{Mechanism, SystemConfig};
 use crate::power::EnergyModel;
 pub use crate::runner::{run_benchmark, run_with_source, RunResult};
@@ -429,6 +430,118 @@ pub fn render_sensitivity(title: &str, rows: &[SensitivityRow]) -> String {
             out.push_str(&format!(" {lat:>8.2}"));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// One point of the fault-injection resilience sweep: FP-VAXX under an
+/// increasing link bit-flip rate.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCurvePoint {
+    /// Link bit-flip rate in flips per million traversals.
+    pub flip_ppm: u32,
+    /// Average end-to-end packet latency in cycles.
+    pub avg_latency: f64,
+    /// Data value quality (1 − mean relative word error).
+    pub quality: f64,
+    /// Bit flips the fault injector actually performed.
+    pub bit_flips: u64,
+    /// Delivered words audited by the end-to-end bound checker.
+    pub bound_checked_words: u64,
+    /// Audited words whose error exceeded the configured threshold.
+    pub bound_violations: u64,
+}
+
+/// The fault-injection resilience sweep: runs `benchmark` under FP-VAXX at
+/// each link bit-flip rate, through the fault-tolerant campaign path, and
+/// reports one curve point per rate that completed plus the typed failures
+/// for cells that did not (watchdog aborts at extreme rates are expected
+/// behaviour, not sweep-ending errors).
+///
+/// At rate 0 the fault plan is inert and the cell is bit-identical to a
+/// healthy run; violations must be 0 there, and the violation count is
+/// non-decreasing in the flip rate.
+pub fn faults_sweep(
+    benchmark: Benchmark,
+    rates_ppm: &[u32],
+    config: &SystemConfig,
+    seed: u64,
+) -> (Vec<(u32, Option<FaultCurvePoint>)>, Vec<CellFailure>) {
+    let jobs = rates_ppm
+        .iter()
+        .map(|&ppm| {
+            let cfg = config.clone().with_faults(FaultPlan::bit_flips(seed, ppm));
+            checked_benchmark_job(benchmark, Mechanism::FpVaxx, &cfg, seed)
+        })
+        .collect();
+    let (results, failures, _) = context().run_checked("faults", jobs);
+    let points = rates_ppm
+        .iter()
+        .zip(results)
+        .map(|(&ppm, slot)| {
+            let point = slot.map(|r| FaultCurvePoint {
+                flip_ppm: ppm,
+                avg_latency: r.avg_packet_latency(),
+                quality: r.data_quality(),
+                bit_flips: r.stats.faults.bit_flips,
+                bound_checked_words: r.stats.faults.bound_checked_words,
+                bound_violations: r.stats.faults.bound_violations,
+            });
+            (ppm, point)
+        })
+        .collect();
+    (points, failures)
+}
+
+/// Renders the fault sweep as a text table, failed cells included.
+pub fn render_faults(
+    benchmark: Benchmark,
+    points: &[(u32, Option<FaultCurvePoint>)],
+    failures: &[CellFailure],
+) -> String {
+    let mut out = format!(
+        "Fault-injection sweep: {} / FP-VAXX\nflip_ppm    latency   quality   bit_flips    checked  violations\n",
+        benchmark.name()
+    );
+    for (ppm, point) in points {
+        match point {
+            Some(p) => out.push_str(&format!(
+                "{:>8} {:>10.2} {:>9.4} {:>11} {:>10} {:>11}\n",
+                ppm,
+                p.avg_latency,
+                p.quality,
+                p.bit_flips,
+                p.bound_checked_words,
+                p.bound_violations,
+            )),
+            None => out.push_str(&format!("{ppm:>8}     failed (see below)\n")),
+        }
+    }
+    for f in failures {
+        out.push_str(&format!("failed: {f}\n"));
+    }
+    out
+}
+
+/// CSV form of the fault sweep (completed points only).
+pub fn faults_csv(points: &[(u32, Option<FaultCurvePoint>)]) -> String {
+    let mut out = String::from(
+        "flip_ppm,avg_latency,quality,bit_flips,bound_checked_words,bound_violations\n",
+    );
+    for (ppm, point) in points {
+        if let Some(p) = point {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                ppm,
+                p.avg_latency,
+                p.quality,
+                p.bit_flips,
+                p.bound_checked_words,
+                p.bound_violations,
+            ));
+        } else {
+            out.push_str(&format!("{ppm},,,,,\n"));
+        }
     }
     out
 }

@@ -17,7 +17,7 @@ use crate::runner::RunResult;
 
 /// Magic first line of the payload; bump the version when the layout of
 /// [`RunResult`] changes so stale cache entries turn into misses.
-const MAGIC: &str = "# anoc-result v2";
+const MAGIC: &str = "# anoc-result v3";
 
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -72,6 +72,17 @@ pub fn encode_run_result(r: &RunResult) -> String {
         f64_hex(s.quality.error_sum()),
         f64_hex(s.quality.max_relative_error()),
     ));
+    let fs = &s.faults;
+    out.push_str(&format!(
+        "faults {} {} {} {} {} {} {}\n",
+        fs.bit_flips,
+        fs.port_stalls,
+        fs.credits_dropped,
+        fs.credits_duplicated,
+        fs.dict_corruptions,
+        fs.bound_checked_words,
+        fs.bound_violations,
+    ));
     out.push_str(&format!("hist {}", s.latency_histogram.max()));
     for (b, c) in s.latency_histogram.nonzero_buckets() {
         out.push_str(&format!(" {b}:{c}"));
@@ -124,6 +135,7 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
     let q_sum = parse_f64_hex(q.next()?)?;
     let q_max = parse_f64_hex(q.next()?)?;
     let quality = QualityAccumulator::from_raw(q_words, q_sum, q_max);
+    let fs = parse_u64s::<7>(lines.next()?.strip_prefix("faults ")?)?;
 
     let mut h = lines
         .next()?
@@ -183,6 +195,15 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
                 bits_out: en[5],
             },
             quality,
+            faults: anoc_noc::FaultStats {
+                bit_flips: fs[0],
+                port_stalls: fs[1],
+                credits_dropped: fs[2],
+                credits_duplicated: fs[3],
+                dict_corruptions: fs[4],
+                bound_checked_words: fs[5],
+                bound_violations: fs[6],
+            },
             latency_histogram,
         },
         activity: ActivityReport {
@@ -258,7 +279,7 @@ mod tests {
         let good = encode_run_result(&r);
         assert!(decode_run_result("").is_none());
         assert!(decode_run_result("garbage").is_none());
-        assert!(decode_run_result(&good.replace("v2", "v1")).is_none());
+        assert!(decode_run_result(&good.replace("v3", "v2")).is_none());
         let truncated = &good[..good.rfind("activity_cycles").expect("field present")];
         assert!(decode_run_result(truncated).is_none());
         let unknown = good.replace("mechanism FP-VAXX", "mechanism NO-SUCH");

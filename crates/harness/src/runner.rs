@@ -1,6 +1,6 @@
 //! The generic experiment driver: traffic source → NoC → statistics.
 
-use anoc_noc::{ActivityReport, NetStats, NocSim};
+use anoc_noc::{ActivityReport, NetStats, NocSim, SimError};
 use anoc_traffic::{Benchmark, BenchmarkTraffic, Injection, TrafficSource};
 
 use crate::config::{Mechanism, SystemConfig};
@@ -42,17 +42,54 @@ impl RunResult {
     pub fn latency_percentile(&self, p: f64) -> u64 {
         self.stats.latency_histogram.percentile(p)
     }
+
+    /// The placeholder substituted for a failed cell when a keep-going
+    /// campaign completes despite per-cell errors: mechanism `"FAILED"`,
+    /// every statistic zero. Never cached.
+    pub fn failed_sentinel() -> Self {
+        RunResult {
+            mechanism: Mechanism::Custom("FAILED"),
+            stats: NetStats::default(),
+            activity: ActivityReport::default(),
+            nodes: 0,
+            total_cycles: 0,
+        }
+    }
+
+    /// Whether this result is the keep-going failure placeholder.
+    pub fn is_failed_sentinel(&self) -> bool {
+        self.mechanism == Mechanism::Custom("FAILED") && self.total_cycles == 0
+    }
 }
 
 /// Runs `mechanism` under the traffic produced by `source` for the
 /// configured warmup + measurement window, then drains.
+///
+/// # Panics
+///
+/// Panics if the configured watchdog or bound checker aborts the
+/// simulation; campaigns that must survive that use
+/// [`try_run_with_source`].
 pub fn run_with_source(
     source: &mut dyn TrafficSource,
     mechanism: Mechanism,
     config: &SystemConfig,
 ) -> RunResult {
+    match try_run_with_source(source, mechanism, config) {
+        Ok(r) => r,
+        Err(e) => panic!("simulation failed: {e}"),
+    }
+}
+
+/// Fallible [`run_with_source`]: a watchdog deadlock abort or a fatal
+/// bound-checker violation comes back as `Err` instead of panicking.
+pub fn try_run_with_source(
+    source: &mut dyn TrafficSource,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+) -> Result<RunResult, SimError> {
     let codecs = mechanism.codecs(config.noc.num_nodes(), config.threshold());
-    run_custom(source, mechanism, config, codecs)
+    try_run_custom(source, mechanism, config, codecs)
 }
 
 /// Runs with explicitly supplied codec pairs — the entry point for
@@ -62,13 +99,37 @@ pub fn run_with_source(
 /// # Panics
 ///
 /// Panics if `source` / `codecs` disagree with the configuration's node
-/// count.
+/// count, or if the watchdog/bound checker aborts the run.
 pub fn run_custom(
     source: &mut dyn TrafficSource,
     mechanism: Mechanism,
     config: &SystemConfig,
     codecs: Vec<anoc_noc::NodeCodec>,
 ) -> RunResult {
+    match try_run_custom(source, mechanism, config, codecs) {
+        Ok(r) => r,
+        Err(e) => panic!("simulation failed: {e}"),
+    }
+}
+
+/// Fallible [`run_custom`], the core driver every other entry point wraps.
+///
+/// Installs the configuration's [`anoc_noc::FaultPlan`] and watchdog
+/// horizon on the simulator. The end-to-end bound checker arms for the
+/// enumerated mechanisms, whose per-word guarantee is exactly
+/// `config.threshold()`; custom mechanisms (adaptive thresholds, windowed
+/// budgets) manage their own per-word allowances and are exempt.
+///
+/// # Panics
+///
+/// Panics if `source` / `codecs` disagree with the configuration's node
+/// count.
+pub fn try_run_custom(
+    source: &mut dyn TrafficSource,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    codecs: Vec<anoc_noc::NodeCodec>,
+) -> Result<RunResult, SimError> {
     let nodes = config.noc.num_nodes();
     assert_eq!(
         source.num_nodes(),
@@ -76,6 +137,11 @@ pub fn run_custom(
         "traffic source and NoC disagree on node count"
     );
     let mut sim = NocSim::new(config.noc.clone(), codecs);
+    sim.set_fault_plan(config.faults);
+    sim.set_watchdog(config.watchdog_horizon);
+    if !matches!(mechanism, Mechanism::Custom(_)) {
+        sim.set_bound_check(config.threshold());
+    }
     let mut buf: Vec<Injection> = Vec::new();
     let total = config.warmup_cycles + config.sim_cycles;
     for cycle in 0..total {
@@ -95,22 +161,25 @@ pub fn run_custom(
             }
         }
         sim.step();
+        if let Some(e) = sim.take_fatal_error() {
+            return Err(e);
+        }
         sim.discard_delivered(); // keep the delivery buffer from growing
     }
     // Stop offering traffic; let in-flight measured packets finish.
     sim.end_measurement();
-    sim.drain(config.drain_cycles);
+    sim.try_drain(config.drain_cycles)?;
     sim.discard_delivered();
     sim.record_unfinished();
     let activity = sim.activity_report();
     let stats = sim.stats().clone();
-    RunResult {
+    Ok(RunResult {
         mechanism,
         stats,
         activity,
         nodes,
         total_cycles: sim.cycle(),
-    }
+    })
 }
 
 /// Summary statistics over repeated runs with different seeds.
@@ -179,6 +248,19 @@ pub fn run_benchmark(
     let mut source =
         BenchmarkTraffic::new(benchmark, config.noc.num_nodes(), config.approx_ratio, seed);
     run_with_source(&mut source, mechanism, config)
+}
+
+/// Fallible [`run_benchmark`]: a watchdog or bound-checker abort comes back
+/// as `Err` instead of panicking — the form fault-injection campaigns use.
+pub fn try_run_benchmark(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+) -> Result<RunResult, SimError> {
+    let mut source =
+        BenchmarkTraffic::new(benchmark, config.noc.num_nodes(), config.approx_ratio, seed);
+    try_run_with_source(&mut source, mechanism, config)
 }
 
 #[cfg(test)]

@@ -93,12 +93,12 @@ impl LatencyHistogram {
             return 0;
         }
         let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
-        let last_occupied = self
-            .counts
-            .iter()
-            .rposition(|c| *c > 0)
-            // anoc-lint: allow(C001): guarded by the total == 0 early return
-            .expect("total > 0 implies an occupied bucket");
+        // `total > 0` implies an occupied bucket; fall back to the exact max
+        // if the counts ever disagreed rather than crash.
+        let Some(last_occupied) = self.counts.iter().rposition(|c| *c > 0) else {
+            debug_assert!(false, "total > 0 but no occupied bucket");
+            return self.max;
+        };
         let mut seen = 0;
         for (b, c) in self.counts.iter().enumerate() {
             seen += c;

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod faults;
 pub mod histogram;
 pub mod ni;
 pub mod packet;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod topology;
 
 pub use config::NocConfig;
+pub use faults::{FaultPlan, FaultStats, SimError};
 pub use histogram::LatencyHistogram;
 pub use ni::NodeCodec;
 pub use packet::{Delivered, PacketId, PacketKind};

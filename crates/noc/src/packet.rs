@@ -85,6 +85,10 @@ pub struct PacketState {
     /// In-band dictionary notification (control packets in `notify_in_band`
     /// mode).
     pub notification: Option<Notification>,
+    /// Link-fault corruption events recorded while the packet's flits were
+    /// in flight: `(word index, bit index)` pairs applied to the decoded
+    /// block at delivery. Empty (and allocation-free) without faults.
+    pub corrupt: Vec<(u32, u32)>,
     /// Whether this packet belongs to the measurement window.
     pub measured: bool,
 }

@@ -267,6 +267,16 @@ impl Router {
         self.activity
     }
 
+    /// Flow-control snapshot for deadlock diagnostics: per output port, each
+    /// VC's `(remaining credits, wormhole holder)` where the holder is the
+    /// `(input port, input VC)` currently owning the VC.
+    pub fn flow_snapshot(&self) -> crate::faults::PortFlows {
+        self.out_ports
+            .iter()
+            .map(|p| p.vcs.iter().map(|v| (v.credits, v.holder)).collect())
+            .collect()
+    }
+
     /// One allocation cycle: VA + SA over all ports, appending the granted
     /// switch traversals to `grants` (a caller-owned scratch buffer, so the
     /// steady-state loop never allocates). `route_of` maps a head flit's
@@ -318,10 +328,15 @@ impl Router {
             while rot != 0 {
                 let v = wrap(start + rot.trailing_zeros() as usize, num_vcs);
                 rot &= rot - 1;
-                // Inspect the head-of-line flit of this VC.
+                // Inspect the head-of-line flit of this VC. The occupancy
+                // bitmask mirrors the buffer contents, so an empty buffer
+                // here would be a bookkeeping bug — skip it rather than
+                // crash a long campaign.
                 let vc = &mut port.vcs[v];
-                // anoc-lint: allow(C001): occupancy bitmask mirrors buffer contents
-                let flit = *vc.buf.front().expect("occupied VC has a flit");
+                let Some(&flit) = vc.buf.front() else {
+                    debug_assert!(false, "occupied VC {v} of port {ip} has no flit");
+                    continue;
+                };
                 if flit.ready_at > now {
                     continue;
                 }
@@ -397,15 +412,24 @@ impl Router {
                 (mask >> start) | (mask << (num_in - start))
             };
             let ip = wrap(start + rot.trailing_zeros() as usize, num_in);
-            // anoc-lint: allow(C001): request mask bit set only when a request exists
-            let (v, _) = requests[ip].take().expect("masked input had a request");
+            // Each of these states was established by phase 1 (the request
+            // mask bit, the nominated flit, the granted output VC); a
+            // mismatch is a bookkeeping bug, degraded to a skipped grant.
+            let Some((v, _)) = requests[ip].take() else {
+                debug_assert!(false, "masked input {ip} had no request");
+                continue;
+            };
             let in_port = &mut in_ports[ip];
             let vc_state = &mut in_port.vcs[v];
-            // anoc-lint: allow(C001): phase 1 nominated this VC because it had a flit
-            let flit = vc_state.buf.pop_front().expect("nominated VC has a flit");
+            let Some(flit) = vc_state.buf.pop_front() else {
+                debug_assert!(false, "nominated VC {v} of input {ip} has no flit");
+                continue;
+            };
             *buffered -= 1;
-            // anoc-lint: allow(C001): VA granted an output VC before the request was filed
-            let ovc = vc_state.out_vc.expect("granted packets hold an output VC");
+            let Some(ovc) = vc_state.out_vc else {
+                debug_assert!(false, "granted packet holds no output VC");
+                continue;
+            };
             if flit.is_tail {
                 // Release the wormhole: route and output VC free up.
                 vc_state.out_port = None;

@@ -21,10 +21,16 @@
 
 use std::collections::BTreeMap;
 
+use anoc_core::avcl::Avcl;
 use anoc_core::codec::Notification;
 use anoc_core::data::{CacheBlock, NodeId};
+use anoc_core::rng::Pcg32;
+use anoc_core::threshold::ErrorThreshold;
 
 use crate::config::NocConfig;
+use crate::faults::{
+    BoundViolation, DeadlockDump, FaultPlan, RouterDiag, SimError, StuckPacket, PPM,
+};
 use crate::ni::{NiState, NodeCodec};
 use crate::packet::{Delivered, Flit, PacketId, PacketKind, PacketState, TraceEvent};
 use crate::router::{LinkDest, Router, RouterActivity, Traversal, Upstream};
@@ -69,6 +75,22 @@ pub struct NocSim {
     /// Keyed by monotonic [`PacketId`], so iteration and dump order are
     /// deterministic (enforced by anoc-lint rule D002).
     traces: BTreeMap<PacketId, Vec<(u64, TraceEvent)>>,
+    /// Active fault-injection plan (inert by default).
+    faults: FaultPlan,
+    /// Dedicated fault RNG stream, seeded from the plan — independent of
+    /// every traffic RNG so enabling faults never perturbs offered load.
+    fault_rng: Pcg32,
+    /// End-to-end bound checker: every delivered data word is compared to
+    /// its golden copy against this threshold when set.
+    bound_check: Option<ErrorThreshold>,
+    /// Watchdog horizon: abort with [`SimError::Deadlock`] after this many
+    /// cycles without forward progress while packets are outstanding.
+    watchdog: Option<u64>,
+    /// Last cycle on which any flit moved, injected, or ejected.
+    last_progress: u64,
+    /// A fatal condition detected mid-step, surfaced by [`NocSim::try_run`]
+    /// and [`NocSim::try_drain`].
+    fatal: Option<SimError>,
 }
 
 impl std::fmt::Debug for NocSim {
@@ -153,7 +175,50 @@ impl NocSim {
             measuring: true,
             tracing: false,
             traces: BTreeMap::new(),
+            faults: FaultPlan::none(),
+            fault_rng: Pcg32::seed_from_u64(0),
+            bound_check: None,
+            watchdog: None,
+            last_progress: 0,
+            fatal: None,
         }
+    }
+
+    /// Installs a fault-injection plan and seeds the fault RNG from it. An
+    /// inert plan ([`FaultPlan::none`]) draws no random numbers, so the run
+    /// stays bit-identical to one without any plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_rng = Pcg32::seed_from_u64(plan.seed);
+        self.faults = plan;
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Enables the end-to-end bound checker: every delivered data word is
+    /// compared against its golden (pre-approximation) copy. A word outside
+    /// `threshold` counts in `NetStats::faults.bound_violations`; without an
+    /// active fault plan it is also fatal ([`SimError::BoundViolation`]).
+    pub fn set_bound_check(&mut self, threshold: ErrorThreshold) {
+        self.bound_check = Some(threshold);
+    }
+
+    /// Arms the no-forward-progress watchdog: if `horizon` cycles pass with
+    /// outstanding packets and no flit movement, the run aborts with a
+    /// [`SimError::Deadlock`] carrying a diagnostic dump. `0` disarms it.
+    pub fn set_watchdog(&mut self, horizon: u64) {
+        self.watchdog = if horizon == 0 { None } else { Some(horizon) };
+        self.last_progress = self.cycle;
+    }
+
+    /// Takes the fatal error detected by the bound checker or watchdog, if
+    /// any. [`NocSim::try_run`] and [`NocSim::try_drain`] consume it
+    /// automatically; this accessor serves callers driving [`NocSim::step`]
+    /// directly.
+    pub fn take_fatal_error(&mut self) -> Option<SimError> {
+        self.fatal.take()
     }
 
     /// Enables per-packet lifetime tracing (Created / Injected /
@@ -242,6 +307,15 @@ impl NocSim {
     /// on the injection path per §4.3).
     pub fn enqueue_data(&mut self, src: NodeId, dest: NodeId, block: CacheBlock) -> PacketId {
         let encoder = &mut self.codecs[src.index()].encoder;
+        if self.faults.dict_corrupt_ppm > 0
+            && self.fault_rng.below(PPM) < self.faults.dict_corrupt_ppm
+        {
+            let entropy =
+                ((self.fault_rng.next_u32() as u64) << 32) | self.fault_rng.next_u32() as u64;
+            if encoder.inject_table_fault(entropy) {
+                self.stats.faults.dict_corruptions += 1;
+            }
+        }
         let encoded = encoder.encode(&block, dest);
         let comp_latency = encoder.compression_latency();
         let payload_bits = encoded.payload_bits();
@@ -278,6 +352,7 @@ impl NocSim {
             payload: Some(encoded),
             precise: Some(block),
             notification: None,
+            corrupt: Vec::new(),
             measured: self.measuring,
         })
     }
@@ -303,6 +378,7 @@ impl NocSim {
             payload: None,
             precise: None,
             notification,
+            corrupt: Vec::new(),
             measured: self.measuring,
         })
     }
@@ -332,6 +408,7 @@ impl NocSim {
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
+        let mut progressed = false;
         // Phase 1 — link arrivals (BW, or ejection). The due ring slot is
         // swapped out and restored after draining so its capacity is
         // reused; this is safe because `schedule` only ever targets future
@@ -339,17 +416,22 @@ impl NocSim {
         let ring = (now % EVENT_HORIZON as u64) as usize;
         let mut due = std::mem::take(&mut self.events[ring]);
         for arrival in due.drain(..) {
+            progressed = true;
             match arrival.target {
                 LinkDest::Router { router, port } => {
                     let mut flit = arrival.flit;
                     flit.ready_at = now + 1;
+                    if self.faults.port_stall_ppm > 0
+                        && self.fault_rng.below(PPM) < self.faults.port_stall_ppm
+                    {
+                        flit.ready_at += self.faults.stall_cycles as u64;
+                        self.stats.faults.port_stalls += 1;
+                    }
                     if self.tracing && flit.is_head() {
-                        let id = self.packets[flit.slot as usize]
-                            .as_ref()
-                            // anoc-lint: allow(C001): slab slot is live while its flits are in flight
-                            .expect("flit of a live packet")
-                            .id;
-                        self.record_trace(id, now, TraceEvent::RouterArrival { router });
+                        if let Some(p) = self.packets[flit.slot as usize].as_ref() {
+                            let id = p.id;
+                            self.record_trace(id, now, TraceEvent::RouterArrival { router });
+                        }
                     }
                     self.routers[router].accept_flit(port, arrival.vc, flit);
                     self.active[router] = true;
@@ -375,16 +457,25 @@ impl NocSim {
             }
         }
         for t in &outgoing {
+            progressed = true;
+            if self.faults.link_bit_flip_ppm > 0
+                && self.fault_rng.below(PPM) < self.faults.link_bit_flip_ppm
+            {
+                self.flip_payload_bit(t.flit.slot);
+            }
             self.schedule(now + 2, t.dest, t.out_vc, t.flit);
         }
         for t in outgoing.drain(..) {
             if let Some((upstream, vc)) = t.credit_to {
-                match upstream {
-                    Upstream::Router { router, port } => {
-                        self.routers[router].return_credit(port, vc);
-                    }
-                    Upstream::Local { node } => {
-                        self.nis[node].vc_credits[vc] += 1;
+                let copies = self.credit_copies();
+                for _ in 0..copies {
+                    match upstream {
+                        Upstream::Router { router, port } => {
+                            self.routers[router].return_credit(port, vc);
+                        }
+                        Upstream::Local { node } => {
+                            self.nis[node].vc_credits[vc] += 1;
+                        }
                     }
                 }
             }
@@ -392,11 +483,107 @@ impl NocSim {
         self.outgoing = outgoing;
         // Phase 3 — NI injection.
         for node in 0..self.nis.len() {
-            self.inject_from(node, now);
+            progressed |= self.inject_from(node, now);
         }
         self.cycle = now + 1;
         if self.measuring {
             self.stats.cycles += 1;
+        }
+        // Watchdog — forward progress is any arrival, grant or injection.
+        // An idle network (no outstanding packets) is trivially live.
+        if progressed || self.live_packets == 0 {
+            self.last_progress = now;
+        } else if let Some(horizon) = self.watchdog {
+            if now.saturating_sub(self.last_progress) >= horizon && self.fatal.is_none() {
+                self.fatal = Some(SimError::Deadlock(self.deadlock_dump(now)));
+            }
+        }
+    }
+
+    /// Records one link-fault bit flip against the packet in `slot`: a
+    /// random (word, bit) of its payload, applied to the decoded block at
+    /// delivery so the golden copy stays intact for the bound checker.
+    fn flip_payload_bit(&mut self, slot: u32) {
+        let Some(p) = self.packets[slot as usize].as_mut() else {
+            return;
+        };
+        let Some(block) = &p.precise else {
+            return; // control packets carry no payload to corrupt
+        };
+        let words = block.len() as u32;
+        if words == 0 {
+            return;
+        }
+        let word = self.fault_rng.below(words);
+        let bit = self.fault_rng.below(u32::BITS);
+        p.corrupt.push((word, bit));
+        self.stats.faults.bit_flips += 1;
+    }
+
+    /// How many times to return one freed credit under the active plan:
+    /// 1 normally, 0 when dropped, 2 when duplicated.
+    fn credit_copies(&mut self) -> u32 {
+        if self.faults.credit_drop_ppm > 0
+            && self.fault_rng.below(PPM) < self.faults.credit_drop_ppm
+        {
+            self.stats.faults.credits_dropped += 1;
+            return 0;
+        }
+        if self.faults.credit_dup_ppm > 0 && self.fault_rng.below(PPM) < self.faults.credit_dup_ppm
+        {
+            self.stats.faults.credits_duplicated += 1;
+            return 2;
+        }
+        1
+    }
+
+    /// Builds the diagnostic dump for a watchdog abort: the oldest stuck
+    /// packets, each non-idle router's credit/VC occupancy, and NI backlogs.
+    fn deadlock_dump(&self, now: u64) -> DeadlockDump {
+        const MAX_ITEMS: usize = 8;
+        let mut stuck: Vec<StuckPacket> = self
+            .packets
+            .iter()
+            .flatten()
+            .map(|p| StuckPacket {
+                id: p.id,
+                src: p.src,
+                dest: p.dest,
+                kind: p.kind,
+                created: p.created,
+                age: now.saturating_sub(p.created),
+                ejected_flits: p.ejected_flits,
+                num_flits: p.num_flits,
+            })
+            .collect();
+        stuck.sort_by_key(|s| (s.created, s.id));
+        stuck.truncate(MAX_ITEMS);
+        let routers = self
+            .routers
+            .iter()
+            .filter(|r| r.occupancy() > 0)
+            .take(MAX_ITEMS)
+            .map(|r| RouterDiag {
+                id: r.id(),
+                buffered: r.occupancy(),
+                ports: r.flow_snapshot(),
+            })
+            .collect();
+        let ni_backlogs = self
+            .nis
+            .iter()
+            .enumerate()
+            .filter(|(_, ni)| !ni.queue.is_empty())
+            .take(MAX_ITEMS)
+            .map(|(node, ni)| (node, ni.queue.len()))
+            .collect();
+        DeadlockDump {
+            cycle: now,
+            last_progress: self.last_progress,
+            live_packets: self.live_packets,
+            stuck,
+            routers,
+            ni_backlogs,
         }
     }
 
@@ -405,6 +592,18 @@ impl NocSim {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// Runs `cycles` steps, stopping early with the error if the watchdog
+    /// trips or the bound checker records a fatal violation.
+    pub fn try_run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step();
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// Runs until every outstanding packet is delivered, or `max_cycles`
@@ -418,6 +617,22 @@ impl NocSim {
             self.step();
         }
         self.live_packets == 0
+    }
+
+    /// Fallible [`NocSim::drain`]: stops early with the error if the
+    /// watchdog trips or the bound checker records a fatal violation.
+    pub fn try_drain(&mut self, max_cycles: u64) -> Result<bool, SimError> {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            if self.live_packets == 0 {
+                return Ok(true);
+            }
+            self.step();
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
+        }
+        Ok(self.live_packets == 0)
     }
 
     /// Takes the packets delivered since the last call.
@@ -463,39 +678,46 @@ impl NocSim {
         self.events[(at % EVENT_HORIZON as u64) as usize].push(Arrival { target, vc, flit });
     }
 
-    fn inject_from(&mut self, node: usize, now: u64) {
+    /// Attempts one flit injection from `node`; returns whether a flit
+    /// entered the network (forward progress for the watchdog).
+    fn inject_from(&mut self, node: usize, now: u64) -> bool {
         // One NI borrow and one slab lookup for the whole attempt — this
         // runs for every node every cycle, so repeated indexed re-lookups
         // showed up in the steady-state profile.
         let ni = &mut self.nis[node];
         let Some(&slot) = ni.queue.front() else {
-            return;
+            return false;
         };
         let slot = slot as usize;
-        // anoc-lint: allow(C001): NI queue only holds live slab slots
-        let p = self.packets[slot].as_mut().expect("queued packet exists");
+        // The NI queue only holds live slab slots; drop a stale one rather
+        // than crash if that invariant ever breaks.
+        let Some(p) = self.packets[slot].as_mut() else {
+            debug_assert!(false, "queued slot {slot} holds no packet");
+            ni.queue.pop_front();
+            return false;
+        };
         // Unhidden compression: pay the remaining latency now that the
         // packet has reached the queue head.
         if ni.next_seq == 0 && p.head_gate > 0 {
             p.ready_at = p.ready_at.max(now + p.head_gate);
             p.head_gate = 0;
-            return;
+            return false;
         }
         if p.ready_at > now {
-            return;
+            return false;
         }
         // Head flit needs a VC with a credit; body flits continue on the
         // packet's VC and just need a credit.
         let vc = match ni.cur_vc {
             Some(v) => {
                 if ni.vc_credits[v] == 0 {
-                    return;
+                    return false;
                 }
                 v
             }
             None => match ni.pick_vc() {
                 Some(v) => v,
-                None => return,
+                None => return false,
             },
         };
         let seq = ni.next_seq;
@@ -545,12 +767,17 @@ impl NocSim {
                 }
             }
         }
+        true
     }
 
     fn eject_flit(&mut self, node: usize, flit: Flit, now: u64) {
         let slot = flit.slot as usize;
-        // anoc-lint: allow(C001): slab slot is live until its tail ejects
-        let p = self.packets[slot].as_mut().expect("flit of a live packet");
+        // A slab slot is live until its tail ejects; ignore an orphan flit
+        // rather than crash if that invariant ever breaks.
+        let Some(p) = self.packets[slot].as_mut() else {
+            debug_assert!(false, "ejected flit references dead slot {slot}");
+            return;
+        };
         p.ejected_flits += 1;
         // A packet created inside the measurement window keeps counting
         // after `end_measurement()`: the drain phase delivers the window's
@@ -566,8 +793,10 @@ impl NocSim {
             p.ejected_flits, p.num_flits,
             "tail arrived before all body flits (per-VC FIFO violated)"
         );
-        // anoc-lint: allow(C001): same slot was just borrowed successfully
-        let p = self.packets[slot].take().expect("checked above");
+        let Some(p) = self.packets[slot].take() else {
+            debug_assert!(false, "slot {slot} vanished between borrow and take");
+            return;
+        };
         self.free_slots.push(flit.slot);
         self.live_packets -= 1;
         self.record_trace(p.id, now, TraceEvent::Ejected);
@@ -586,14 +815,30 @@ impl NocSim {
             notes = result.notifications;
             block = Some(result.block);
         }
+        // Link-fault corruption lands on the *decoded* data — what the
+        // consumer would read — while `p.precise` keeps the golden copy for
+        // the bound checker and quality accounting.
+        if !p.corrupt.is_empty() {
+            if let Some(b) = &mut block {
+                let words = b.words_mut();
+                for &(w, bit) in &p.corrupt {
+                    if let Some(word) = words.get_mut(w as usize) {
+                        *word ^= 1 << bit;
+                    }
+                }
+            }
+        }
+        self.check_bound(&p, block.as_ref(), now);
         if let Some(note) = p.notification {
             // An in-band dictionary notification reaching its encoder.
             self.codecs[node].encoder.apply_notification(p.src, note);
         }
         let done_at = now + decode_latency;
         if p.measured {
-            // anoc-lint: allow(C001): delivery implies the head flit was injected
-            let inject = p.inject_start.expect("delivered packets were injected");
+            // Delivery implies the head flit was injected; fall back to the
+            // creation cycle (zero queueing) if that invariant ever breaks.
+            debug_assert!(p.inject_start.is_some(), "delivered but never injected");
+            let inject = p.inject_start.unwrap_or(p.created);
             self.stats.packets += 1;
             match p.kind {
                 PacketKind::Data => self.stats.data_packets += 1,
@@ -627,6 +872,47 @@ impl NocSim {
             done_at,
             block,
         });
+    }
+
+    /// End-to-end bound check: every delivered word must be within the
+    /// active threshold of its golden counterpart. Violations are always
+    /// counted; they are fatal only when no faults are being injected,
+    /// because then they can only mean a codec bug.
+    fn check_bound(&mut self, p: &PacketState, block: Option<&CacheBlock>, now: u64) {
+        let Some(threshold) = self.bound_check else {
+            return;
+        };
+        let (Some(precise), Some(decoded)) = (&p.precise, block) else {
+            return;
+        };
+        let limit = threshold.percent() as f64 / 100.0 + 1e-9;
+        let dtype = precise.dtype();
+        for (i, (&pw, &aw)) in precise.words().iter().zip(decoded.words()).enumerate() {
+            self.stats.faults.bound_checked_words += 1;
+            let err = Avcl::relative_error(pw, aw, dtype);
+            let violated = match err {
+                Some(e) => e > limit,
+                // Non-finite floats have no meaningful relative error; the
+                // codecs must deliver them bit-exactly.
+                None => pw != aw,
+            };
+            if violated {
+                self.stats.faults.bound_violations += 1;
+                if self.fatal.is_none() && !self.faults.is_active() {
+                    self.fatal = Some(SimError::BoundViolation(BoundViolation {
+                        cycle: now,
+                        packet: p.id,
+                        src: p.src,
+                        dest: p.dest,
+                        word_index: i,
+                        precise: pw,
+                        approx: aw,
+                        relative_error: err.unwrap_or(f64::INFINITY),
+                        threshold_percent: threshold.percent(),
+                    }));
+                }
+            }
+        }
     }
 }
 

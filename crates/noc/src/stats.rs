@@ -3,6 +3,7 @@
 use anoc_core::codec::{CodecActivity, EncodeStats};
 use anoc_core::metrics::QualityAccumulator;
 
+use crate::faults::FaultStats;
 use crate::histogram::LatencyHistogram;
 use crate::router::RouterActivity;
 
@@ -42,6 +43,9 @@ pub struct NetStats {
     /// Packets generated but dropped because the simulation ended before
     /// injection (reported, never silently ignored).
     pub unfinished: u64,
+    /// Injected-fault and bound-checker counters (all zero without an
+    /// active [`crate::faults::FaultPlan`] / bound checker).
+    pub faults: FaultStats,
     /// Distribution of end-to-end packet latencies (tail analysis).
     pub latency_histogram: LatencyHistogram,
 }
