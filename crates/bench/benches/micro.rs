@@ -4,8 +4,9 @@
 use anoc_compression::di::{DiConfig, DiEncoder};
 use anoc_compression::fp::FpEncoder;
 use anoc_compression::fpc;
+use anoc_compression::lz::{LzConfig, LzDecoder, LzEncoder};
 use anoc_core::avcl::Avcl;
-use anoc_core::codec::BlockEncoder;
+use anoc_core::codec::{BlockDecoder, BlockEncoder};
 use anoc_core::data::{CacheBlock, DataType, NodeId};
 use anoc_core::rng::Pcg32;
 use anoc_core::threshold::ErrorThreshold;
@@ -59,6 +60,47 @@ fn bench(c: &mut Criterion) {
                 bits += enc.encode(block, NodeId(1)).payload_bits();
             }
             bits
+        })
+    });
+
+    // LZ-VAXX: a mixed workload (runs, cross-word repeats, noise) so the
+    // match finder exercises both its hit and miss paths.
+    let lz_blocks: Vec<CacheBlock> = (0..64)
+        .map(|i| {
+            let base = i * 37 + 1;
+            let words: Vec<i32> = (0..16)
+                .map(|k| match k % 4 {
+                    0 | 1 => base,
+                    2 => 0,
+                    _ => base ^ (k << 13),
+                })
+                .collect();
+            CacheBlock::from_i32(&words)
+        })
+        .collect();
+    c.bench_function("micro/lz_vaxx/encode_block", |b| {
+        let mut enc = LzEncoder::lz_vaxx(LzConfig::default(), avcl);
+        b.iter(|| {
+            let mut bits = 0u32;
+            for block in &lz_blocks {
+                bits += enc.encode(block, NodeId(1)).payload_bits();
+            }
+            bits
+        })
+    });
+    c.bench_function("micro/lz_vaxx/decode_block", |b| {
+        let mut enc = LzEncoder::lz_vaxx(LzConfig::default(), avcl);
+        let encoded: Vec<_> = lz_blocks
+            .iter()
+            .map(|bl| enc.encode(bl, NodeId(1)))
+            .collect();
+        let mut dec = LzDecoder::new();
+        b.iter(|| {
+            let mut words = 0usize;
+            for e in &encoded {
+                words += dec.decode(e, NodeId(0)).block.len();
+            }
+            words
         })
     });
 

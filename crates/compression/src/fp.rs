@@ -93,53 +93,29 @@ impl BlockEncoder for FpEncoder {
         let approx_on = self.avcl.is_some() && block.is_approximable();
         let mut codes: Vec<WordCode> = Vec::with_capacity(block.len());
         let mut zero_run: u8 = 0;
-        let flush_run = |codes: &mut Vec<WordCode>, run: &mut u8| {
+        fn flush_run(codes: &mut Vec<WordCode>, run: &mut u8) {
             if *run > 0 {
                 codes.push(WordCode::ZeroRun { len: *run });
                 *run = 0;
             }
-        };
-        for &word in block.words() {
-            self.activity.words_encoded += 1;
-            self.activity.cam_searches += 1;
-            let mask = match self.avcl {
-                Some(installed) if approx_on => {
-                    self.activity.avcl_ops += 1;
-                    let avcl = match &self.window {
-                        // Windowed mode: the allowance for this word is
-                        // whatever the window budget has left.
-                        Some(budget) => {
-                            Avcl::with_policy(budget.next_threshold(), installed.policy())
-                        }
-                        None => installed,
-                    };
-                    avcl.approx_pattern(word, block.dtype()).mask()
-                }
-                _ => 0,
-            };
-            let matched = fpc::best_match(word, mask);
-            if let Some(budget) = &mut self.window {
-                if approx_on {
-                    let incurred = match matched {
-                        Some((_, v)) if v != word => Avcl::relative_error(word, v, block.dtype())
-                            .unwrap_or(0.0)
-                            .min(1.0),
-                        _ => 0.0,
-                    };
-                    budget.record(incurred);
-                }
-            }
+        }
+        fn emit(
+            codes: &mut Vec<WordCode>,
+            zero_run: &mut u8,
+            word: u32,
+            matched: Option<(FpcClass, u32)>,
+        ) {
             match matched {
                 Some((FpcClass::Zero, v)) => {
                     if v == word {
-                        zero_run += 1;
-                        if zero_run == MAX_ZERO_RUN {
-                            flush_run(&mut codes, &mut zero_run);
+                        *zero_run += 1;
+                        if *zero_run == MAX_ZERO_RUN {
+                            flush_run(codes, zero_run);
                         }
                     } else {
                         // An approximated zero: single-word zero pattern,
                         // flagged approximate for the encoding statistics.
-                        flush_run(&mut codes, &mut zero_run);
+                        flush_run(codes, zero_run);
                         codes.push(WordCode::Pattern {
                             index: FpcClass::Zero as u8,
                             adjunct: 1,
@@ -149,7 +125,7 @@ impl BlockEncoder for FpEncoder {
                     }
                 }
                 Some((class, v)) => {
-                    flush_run(&mut codes, &mut zero_run);
+                    flush_run(codes, zero_run);
                     codes.push(WordCode::Pattern {
                         index: class as u8,
                         adjunct: class.adjunct_of(v),
@@ -158,12 +134,74 @@ impl BlockEncoder for FpEncoder {
                     });
                 }
                 None => {
-                    flush_run(&mut codes, &mut zero_run);
+                    flush_run(codes, zero_run);
                     codes.push(WordCode::Raw {
                         word,
                         prefix_bits: 3,
                     });
                 }
+            }
+        }
+        let words = block.words();
+        self.activity.words_encoded += words.len() as u64;
+        self.activity.cam_searches += words.len() as u64;
+        if self.window.is_none() {
+            // Wide path: eight contiguous words per iteration. The AVCL masks
+            // for the whole group come out of one `approx_pattern8` call and
+            // the pattern table is walked once per group by `best_match8`,
+            // which reduces its hit mask per variant row instead of
+            // re-dispatching per word. Lane results are bit-identical to the
+            // scalar path.
+            let avcl = if approx_on { self.avcl } else { None };
+            for chunk in words.chunks(8) {
+                let mut lanes = [0u32; 8];
+                lanes[..chunk.len()].copy_from_slice(chunk);
+                let masks = match &avcl {
+                    Some(a) => {
+                        self.activity.avcl_ops += chunk.len() as u64;
+                        let pats = a.approx_pattern8(&lanes, block.dtype());
+                        core::array::from_fn(|i| pats[i].mask())
+                    }
+                    None => [0u32; 8],
+                };
+                let matched = fpc::best_match8(&lanes, &masks);
+                for (lane, &word) in chunk.iter().enumerate() {
+                    emit(&mut codes, &mut zero_run, word, matched[lane]);
+                }
+            }
+        } else {
+            // Windowed mode stays word-at-a-time: each word's allowance
+            // depends on the error the previous word banked, so the masks
+            // cannot be batched.
+            for &word in words {
+                let mask = match self.avcl {
+                    Some(installed) if approx_on => {
+                        self.activity.avcl_ops += 1;
+                        let avcl = match &self.window {
+                            Some(budget) => {
+                                Avcl::with_policy(budget.next_threshold(), installed.policy())
+                            }
+                            None => installed,
+                        };
+                        avcl.approx_pattern(word, block.dtype()).mask()
+                    }
+                    _ => 0,
+                };
+                let matched = fpc::best_match(word, mask);
+                if let Some(budget) = &mut self.window {
+                    if approx_on {
+                        let incurred = match matched {
+                            Some((_, v)) if v != word => {
+                                Avcl::relative_error(word, v, block.dtype())
+                                    .unwrap_or(0.0)
+                                    .min(1.0)
+                            }
+                            _ => 0.0,
+                        };
+                        budget.record(incurred);
+                    }
+                }
+                emit(&mut codes, &mut zero_run, word, matched);
             }
         }
         flush_run(&mut codes, &mut zero_run);
@@ -214,7 +252,9 @@ impl BlockDecoder for FpDecoder {
                         words.push(class.decode(adjunct));
                     }
                 }
-                ref other @ (WordCode::Dict { .. } | WordCode::Delta { .. }) => {
+                ref other @ (WordCode::Dict { .. }
+                | WordCode::Delta { .. }
+                | WordCode::Match { .. }) => {
                     unreachable!("frequent-pattern stream cannot contain {other:?}")
                 }
             }

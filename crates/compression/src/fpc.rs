@@ -172,6 +172,39 @@ pub fn best_match(word: u32, dont_care: u32) -> Option<(FpcClass, u32)> {
     None
 }
 
+/// Wide variant of [`best_match`]: classifies eight contiguous words in one
+/// pass. The class/variant loop is hoisted outside the lane loop so each
+/// `(fixed, fill)` row is compared against all eight words at once (masked by
+/// the per-lane don't-care bits) and the hit mask is reduced per iteration —
+/// the fixed-width bulk-compare structure a hardware CA stage or a SIMD
+/// software decoder uses. Lane `i` of the result is bit-identical to
+/// `best_match(words[i], dont_care[i])`.
+pub fn best_match8(words: &[u32; 8], dont_care: &[u32; 8]) -> [Option<(FpcClass, u32)>; 8] {
+    let mut out: [Option<(FpcClass, u32)>; 8] = [None; 8];
+    // Lanes still unresolved, as a bitset reduced after every variant row.
+    let mut pending: u8 = 0xFF;
+    for class in MATCH_PRIORITY {
+        if pending == 0 {
+            break;
+        }
+        for &(fixed, fill) in class.variants() {
+            let mut hits: u8 = 0;
+            for lane in 0..8 {
+                let must = !dont_care[lane];
+                if pending & (1 << lane) != 0 && words[lane] & must & fixed == fill & must {
+                    hits |= 1 << lane;
+                    out[lane] = Some((class, fill | (words[lane] & !fixed)));
+                }
+            }
+            pending &= !hits;
+            if pending == 0 {
+                break;
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +318,25 @@ mod tests {
         assert_eq!(FpcClass::from_index(7), Some(FpcClass::Uncompressed));
         assert_eq!(FpcClass::from_index(6), None);
         assert_eq!(FpcClass::from_index(8), None);
+    }
+
+    #[test]
+    fn best_match8_agrees_with_scalar() {
+        let mut rng = anoc_core::rng::Pcg32::seed_from_u64(0xF8C8);
+        for _ in 0..200 {
+            let words: [u32; 8] = core::array::from_fn(|_| rng.next_u32() >> rng.below(28));
+            let masks: [u32; 8] = core::array::from_fn(|_| (1u32 << rng.below(17)) - 1);
+            let batch = best_match8(&words, &masks);
+            for lane in 0..8 {
+                assert_eq!(
+                    batch[lane],
+                    best_match(words[lane], masks[lane]),
+                    "lane {lane}: word {:#x} mask {:#x}",
+                    words[lane],
+                    masks[lane]
+                );
+            }
+        }
     }
 
     #[test]

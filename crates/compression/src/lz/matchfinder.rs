@@ -1,0 +1,160 @@
+//! Bucketed hash-chain match finding over the LZ-VAXX sliding window.
+//!
+//! The window (static seed dictionary + the reconstructed prefix of the
+//! current cache block) is indexed by hash buckets keyed on a word's high
+//! halfword. Each bucket heads a singly linked chain through the window,
+//! newest position first, so a probe visits the most recent — and therefore
+//! cheapest-to-rank — candidates before older ones.
+//!
+//! Bucketing on the *high* halfword is what makes the structure work for
+//! approximate matching: a DI-VAXX-style don't-care mask is a contiguous
+//! low-bit run capped at 16 bits, so every candidate a probe word could
+//! accept under such a mask agrees with it on the high halfword and lands in
+//! the same chain. Wider masks (enormous magnitudes at high thresholds) may
+//! miss candidates in other buckets; that only costs compression, never
+//! correctness, because every candidate is still confirmed word-by-word.
+
+/// log2 of the number of hash buckets.
+pub const HASH_BITS: u32 = 8;
+
+const BUCKETS: usize = 1 << HASH_BITS;
+
+/// Sentinel link value for "end of chain".
+const NIL: i16 = -1;
+
+/// The bucketed hash-chain index over one block's window.
+#[derive(Debug, Clone)]
+pub struct MatchFinder {
+    /// Most recent window position per bucket.
+    heads: Vec<i16>,
+    /// Per window position, the previous position in the same bucket.
+    links: Vec<i16>,
+}
+
+impl MatchFinder {
+    /// Creates an empty match finder.
+    pub fn new() -> Self {
+        MatchFinder {
+            heads: vec![NIL; BUCKETS],
+            links: Vec::new(),
+        }
+    }
+
+    /// The bucket a word hashes to (keyed on its high halfword).
+    #[inline]
+    pub fn bucket(word: u32) -> usize {
+        ((word >> 16).wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+    }
+
+    /// Resets the index for a new block whose window holds `window_len`
+    /// positions (seed + block words).
+    pub fn begin_block(&mut self, window_len: usize) {
+        self.heads.fill(NIL);
+        self.links.clear();
+        self.links.resize(window_len, NIL);
+    }
+
+    /// Indexes the window word at `pos` (positions must be inserted in
+    /// increasing order so chains stay newest-first).
+    pub fn insert(&mut self, pos: usize, word: u32) {
+        let b = Self::bucket(word);
+        if let Some(link) = self.links.get_mut(pos) {
+            *link = self.heads[b];
+            self.heads[b] = pos as i16;
+        } else {
+            debug_assert!(false, "insert past the declared window length");
+        }
+    }
+
+    /// Walks the chain of candidate window positions for `word`, newest
+    /// first. The caller bounds the walk with its chain-depth budget.
+    pub fn chain(&self, word: u32) -> Chain<'_> {
+        Chain {
+            links: &self.links,
+            cur: self.heads[Self::bucket(word)],
+        }
+    }
+}
+
+impl Default for MatchFinder {
+    fn default() -> Self {
+        MatchFinder::new()
+    }
+}
+
+/// Iterator over one bucket's chain, newest position first.
+#[derive(Debug)]
+pub struct Chain<'a> {
+    links: &'a [i16],
+    cur: i16,
+}
+
+impl Iterator for Chain<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur < 0 {
+            return None;
+        }
+        let pos = self.cur as usize;
+        self.cur = self.links.get(pos).copied().unwrap_or(NIL);
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_are_newest_first() {
+        let mut f = MatchFinder::new();
+        f.begin_block(8);
+        for pos in [0usize, 3, 5] {
+            f.insert(pos, 0x0001_0000);
+        }
+        let hits: Vec<usize> = f.chain(0x0001_0000).collect();
+        assert_eq!(hits, vec![5, 3, 0]);
+    }
+
+    #[test]
+    fn low_halfword_differences_share_a_bucket() {
+        // Candidates inside a ≤16-bit don't-care mask agree on the high
+        // halfword, so they must be discoverable from one probe.
+        let mut f = MatchFinder::new();
+        f.begin_block(4);
+        f.insert(0, 0x00AB_0000);
+        f.insert(1, 0x00AB_FFFF);
+        let hits: Vec<usize> = f.chain(0x00AB_1234).collect();
+        assert_eq!(hits, vec![1, 0]);
+    }
+
+    #[test]
+    fn probe_never_misses_same_high_halfword_entries() {
+        // The structural guarantee: whatever the hash does, a probe's chain
+        // contains every inserted position whose high halfword matches.
+        let mut f = MatchFinder::new();
+        let words: Vec<u32> = (0..32).map(|i| ((i % 5) << 16) | (i * 77)).collect();
+        f.begin_block(words.len());
+        for (pos, &w) in words.iter().enumerate() {
+            f.insert(pos, w);
+        }
+        for probe in [0u32, 0x0002_1234, 0x0004_FFFF] {
+            let chain: Vec<usize> = f.chain(probe).collect();
+            for (pos, &w) in words.iter().enumerate() {
+                if w >> 16 == probe >> 16 {
+                    assert!(chain.contains(&pos), "probe {probe:#x} missed pos {pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn begin_block_clears_previous_state() {
+        let mut f = MatchFinder::new();
+        f.begin_block(4);
+        f.insert(0, 42);
+        f.begin_block(4);
+        assert_eq!(f.chain(42).count(), 0);
+    }
+}

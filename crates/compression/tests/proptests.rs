@@ -232,3 +232,97 @@ mod bd_properties {
         }
     }
 }
+
+mod lz_properties {
+    use super::*;
+    use anoc_compression::lz::{LzConfig, LzDecoder, LzEncoder};
+    use anoc_core::codec::WordCode;
+
+    fn lz_at(pct: u32) -> LzEncoder {
+        let t = if pct == 0 {
+            ErrorThreshold::exact()
+        } else {
+            ErrorThreshold::from_percent(pct).unwrap()
+        };
+        LzEncoder::lz_vaxx(LzConfig::default(), Avcl::new(t))
+    }
+
+    proptest! {
+        /// Threshold 0 round-trips any block bit-exactly (every accepted
+        /// match degenerates to equality).
+        #[test]
+        fn lz_exact_roundtrip(block in super::int_block()) {
+            let mut enc = lz_at(0);
+            let e = enc.encode(&block, NodeId(1));
+            prop_assert_eq!(e.word_count() as usize, block.len());
+            let d = LzDecoder::new().decode(&e, NodeId(0)).block;
+            prop_assert_eq!(d, block);
+        }
+
+        /// Accepts-implies-bound: every decoded word of an approximable
+        /// block lies within the configured threshold of the golden word,
+        /// under arbitrary per-encoder stream history.
+        #[test]
+        fn lz_accepts_implies_bound(
+            blocks in prop::collection::vec((super::skewed_block(), any::<bool>()), 1..20),
+            pct in 1u32..=50,
+        ) {
+            let mut enc = lz_at(pct);
+            let mut dec = LzDecoder::new();
+            for (block, approx) in &blocks {
+                let block = block.clone().with_approximable(*approx);
+                let e = enc.encode(&block, NodeId(1));
+                let d = dec.decode(&e, NodeId(0)).block;
+                if *approx {
+                    for (p, a) in block.words().iter().zip(d.words()) {
+                        let err = Avcl::relative_error(*p, *a, DataType::Int).unwrap();
+                        prop_assert!(err <= pct as f64 / 100.0 + 1e-12, "{p:#x} -> {a:#x}");
+                    }
+                } else {
+                    prop_assert_eq!(&d, &block);
+                }
+            }
+        }
+
+        /// Float path: value error bounded on normal floats.
+        #[test]
+        fn lz_float_threshold(vals in prop::collection::vec(prop::num::f32::NORMAL, 1..=32)) {
+            let mut enc = lz_at(10);
+            let block = CacheBlock::from_f32(&vals);
+            let d = LzDecoder::new().decode(&enc.encode(&block, NodeId(1)), NodeId(0)).block;
+            for (p, a) in vals.iter().zip(d.as_f32()) {
+                prop_assert!(((a - p) / p).abs() <= 0.10 + 1e-6, "{p} -> {a}");
+            }
+        }
+
+        /// Structural invariants of the emitted stream: spans cover the
+        /// block exactly, every distance is in range and backed by enough
+        /// window, and no foreign code kinds appear.
+        #[test]
+        fn lz_stream_well_formed(block in super::skewed_block(), pct in 0u32..=50) {
+            let cfg = LzConfig::default();
+            let mut enc = lz_at(pct);
+            let e = enc.encode(&block, NodeId(1));
+            let seed_len = anoc_compression::lz::SEED_DICT.len();
+            let mut covered = 0usize;
+            for code in e.codes() {
+                match *code {
+                    WordCode::Raw { .. } => covered += 1,
+                    WordCode::Match { distance, len, dist_bits, .. } => {
+                        prop_assert!(len >= 1 && len <= cfg.max_match);
+                        prop_assert!(distance >= 1);
+                        prop_assert!((distance as usize) <= cfg.max_distance);
+                        prop_assert!(
+                            (distance as usize) <= seed_len + covered,
+                            "distance {distance} exceeds window at word {covered}"
+                        );
+                        prop_assert!(dist_bits == 3 || dist_bits == 7);
+                        covered += len as usize;
+                    }
+                    ref other => prop_assert!(false, "foreign code {other:?}"),
+                }
+            }
+            prop_assert_eq!(covered, block.len());
+        }
+    }
+}

@@ -180,6 +180,43 @@ impl Avcl {
         }
     }
 
+    /// Batch variant of [`Avcl::approx_pattern`]: computes the ternary
+    /// patterns of eight contiguous words in one call. The AVCL datapath is
+    /// replicated per lane in hardware, so the eight masks come out of one
+    /// table iteration; callers that walk a cache block eight words at a time
+    /// (the wide-compare encode loops) hoist the per-word dispatch out of
+    /// their inner loop this way.
+    pub fn approx_pattern8(&self, words: &[u32; 8], dtype: DataType) -> [ApproxPattern; 8] {
+        let mut out = [ApproxPattern::exact(0); 8];
+        if self.threshold.is_exact() {
+            for (lane, &word) in out.iter_mut().zip(words) {
+                *lane = ApproxPattern::exact(word);
+            }
+            return out;
+        }
+        match dtype {
+            DataType::Int => {
+                for (lane, &word) in out.iter_mut().zip(words) {
+                    let k = self.dont_care_width((word as i32).unsigned_abs());
+                    *lane = ApproxPattern::new(word, low_mask(k));
+                }
+            }
+            DataType::F32 => {
+                for (lane, &word) in out.iter_mut().zip(words) {
+                    *lane = if float_bypass(word) {
+                        ApproxPattern::exact(word)
+                    } else {
+                        let k = self
+                            .dont_care_width(significand(word))
+                            .min(F32_MANTISSA_BITS);
+                        ApproxPattern::new(word, low_mask(k))
+                    };
+                }
+            }
+        }
+        out
+    }
+
     /// Whether `reference` is an acceptable approximation of `word` under this
     /// AVCL (i.e. `reference` falls inside `word`'s don't-care pattern).
     pub fn accepts(&self, word: u32, reference: u32, dtype: DataType) -> bool {
@@ -382,6 +419,27 @@ mod tests {
         // 10% of 5 is 0.5 -> hardware range 0 -> no don't-cares.
         let p = avcl.approx_pattern(5, DataType::Int);
         assert!(p.is_exact());
+    }
+
+    #[test]
+    fn approx_pattern8_agrees_with_scalar() {
+        let mut rng = crate::rng::Pcg32::seed_from_u64(0x8A7C);
+        for &p in &[0u32, 5, 10, 25] {
+            let avcl = if p == 0 {
+                Avcl::new(ErrorThreshold::exact())
+            } else {
+                Avcl::new(pct(p))
+            };
+            for _ in 0..50 {
+                let words: [u32; 8] = core::array::from_fn(|_| rng.next_u32() >> rng.below(28));
+                for dtype in [DataType::Int, DataType::F32] {
+                    let batch = avcl.approx_pattern8(&words, dtype);
+                    for (lane, &w) in batch.iter().zip(&words) {
+                        assert_eq!(*lane, avcl.approx_pattern(w, dtype), "{w:#x} at {p}%");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,24 @@ pub enum WordCode {
         /// Whether VAXX approximation enabled this delta to fit.
         approx: bool,
     },
+    /// LZ back-reference (LZ-VAXX): copies `len` words starting `distance`
+    /// words back in the reconstruction window (static seed dictionary +
+    /// already-decoded words of the same block). The distance may be shorter
+    /// than the length, in which case the copy overlaps itself and expresses
+    /// a run. Matching across word boundaries is what distinguishes this
+    /// mechanism from the per-word FP/DI tables.
+    Match {
+        /// Backward distance in words (1-based) into the window.
+        distance: u16,
+        /// Number of source words covered (1..=8).
+        len: u8,
+        /// Wire width of the distance field: short after MTF recency ranking
+        /// promoted this distance, full width otherwise.
+        dist_bits: u8,
+        /// Whether any covered word was accepted through a VAXX don't-care
+        /// mask rather than an exact compare.
+        approx: bool,
+    },
     /// Dictionary hit: an encoded index the paired decoder can resolve.
     Dict {
         /// The encoded index previously announced by the decoder.
@@ -80,14 +98,17 @@ impl WordCode {
             } => 3 + data as u32,
             WordCode::ZeroRun { .. } => 3 + 3,
             WordCode::Delta { delta_bits, .. } => delta_bits as u32,
+            WordCode::Match { dist_bits, .. } => 2 + dist_bits as u32 + 3,
             WordCode::Dict { index_bits, .. } => 1 + index_bits as u32,
         }
     }
 
-    /// Number of source words this code covers (1, except for zero runs).
+    /// Number of source words this code covers (1, except for zero runs and
+    /// LZ matches).
     pub fn word_span(&self) -> u32 {
         match *self {
             WordCode::ZeroRun { len } => len as u32,
+            WordCode::Match { len, .. } => len as u32,
             _ => 1,
         }
     }
@@ -104,7 +125,8 @@ impl WordCode {
             WordCode::Raw { .. } | WordCode::ZeroRun { .. } => false,
             WordCode::Pattern { approx, .. }
             | WordCode::Dict { approx, .. }
-            | WordCode::Delta { approx, .. } => approx,
+            | WordCode::Delta { approx, .. }
+            | WordCode::Match { approx, .. } => approx,
         }
     }
 }
@@ -470,6 +492,16 @@ mod tests {
         );
         assert_eq!(WordCode::ZeroRun { len: 8 }.bits(), 6);
         assert_eq!(WordCode::ZeroRun { len: 8 }.word_span(), 8);
+        let m = WordCode::Match {
+            distance: 3,
+            len: 4,
+            dist_bits: 3,
+            approx: true,
+        };
+        assert_eq!(m.bits(), 2 + 3 + 3);
+        assert_eq!(m.word_span(), 4);
+        assert!(m.is_encoded());
+        assert!(m.is_approx());
     }
 
     #[test]

@@ -128,6 +128,26 @@ impl ResultCache {
             .sum()
     }
 
+    /// Iterates over the payloads of every well-formed entry (unreadable or
+    /// malformed files are skipped, like in [`get`](Self::get)). The cache
+    /// is payload-agnostic; this exists so tooling layered on top can
+    /// inspect stored payloads — e.g. report a format-version mix — without
+    /// the cache knowing the payload schema.
+    pub fn payloads(&self) -> impl Iterator<Item = String> + '_ {
+        self.entry_paths().filter_map(|p| {
+            let content = std::fs::read_to_string(p).ok()?;
+            let mut lines = content.splitn(4, '\n');
+            if lines.next()? != MAGIC {
+                return None;
+            }
+            lines.next()?.strip_prefix("key ")?;
+            if lines.next()? != "---" {
+                return None;
+            }
+            Some(lines.next().unwrap_or("").to_string())
+        })
+    }
+
     /// Deletes every entry, returning how many were removed.
     ///
     /// # Errors
@@ -252,6 +272,23 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
             .collect();
         assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn payloads_iterates_entries_and_skips_malformed_files() {
+        let cache = temp_cache("payloads");
+        cache.put("k1", "# fmt v1\nbody").expect("put");
+        cache.put("k2", "# fmt v2\nbody").expect("put");
+        // A malformed file with a valid-looking name must be skipped.
+        let bogus = cache.dir().join("00000000deadbeef.txt");
+        std::fs::write(&bogus, "not a cache file").expect("write");
+        let mut firsts: Vec<String> = cache
+            .payloads()
+            .filter_map(|p| p.lines().next().map(str::to_string))
+            .collect();
+        firsts.sort();
+        assert_eq!(firsts, vec!["# fmt v1", "# fmt v2"]);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

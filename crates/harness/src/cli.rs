@@ -40,6 +40,7 @@ const USAGE: &str = "usage: anoc run <TARGET> [OPTIONS]
 targets:
   table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 extensions
   faults      fault-injection resilience sweep (latency/quality vs flip rate)
+  lz          LZ-VAXX study: threshold x workload vs DI-VAXX/FP-VAXX
   all         every table and figure in order
   ablations   the sensitivity studies: fig13, fig14 and the extension study
 
@@ -49,6 +50,7 @@ options:
   --threads N   worker threads (default: ANOC_THREADS or all cores)
   --no-cache    always simulate; do not read or write the result cache
   --csv         emit CSV instead of a text table
+  --json        emit JSON instead of a text table (lz target only)
   --keep-going  complete campaigns past failed cells (exit 3 if any failed)
   --out PATH    output path (fig17 image directory, capture/replay trace)
 
@@ -57,7 +59,7 @@ lint options:
   --deny        treat warnings as errors (what CI runs)";
 
 /// All figure/table targets of `anoc run`, in `all` order.
-const TARGETS: [&str; 12] = [
+const TARGETS: [&str; 13] = [
     "table1",
     "fig9",
     "fig10",
@@ -70,6 +72,7 @@ const TARGETS: [&str; 12] = [
     "fig17",
     "extensions",
     "faults",
+    "lz",
 ];
 
 /// The sensitivity/ablation subset behind `anoc run ablations`.
@@ -82,6 +85,7 @@ struct Opts {
     threads: Option<usize>,
     no_cache: bool,
     csv: bool,
+    json: bool,
     keep_going: bool,
     out: Option<String>,
 }
@@ -94,6 +98,7 @@ impl Default for Opts {
             threads: None,
             no_cache: false,
             csv: false,
+            json: false,
             keep_going: false,
             out: None,
         }
@@ -199,6 +204,7 @@ fn parse(argv: &[String]) -> Result<Command, String> {
             "--threads" => opts.threads = Some(num("--threads")?.max(1) as usize),
             "--no-cache" => opts.no_cache = true,
             "--csv" => opts.csv = true,
+            "--json" => opts.json = true,
             "--keep-going" => opts.keep_going = true,
             "--out" => opts.out = Some(it.next().ok_or("--out needs a path")?.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -265,6 +271,26 @@ fn execute(cmd: Command) -> Result<(), String> {
                 cache.size_bytes(),
                 cache.dir().display()
             );
+            // Payload-format version mix: stale-versioned entries are dead
+            // weight (the v4 reader rejects them), so surface them here.
+            let mut mix: std::collections::BTreeMap<String, usize> =
+                std::collections::BTreeMap::new();
+            for payload in cache.payloads() {
+                let label = match crate::persist::payload_version(&payload) {
+                    Some(v) => format!("v{v}"),
+                    None => "unversioned".to_string(),
+                };
+                *mix.entry(label).or_insert(0) += 1;
+            }
+            let current = format!("v{}", crate::persist::RESULT_FORMAT_VERSION);
+            for (version, count) in &mix {
+                let note = if *version == current {
+                    "current"
+                } else {
+                    "stale"
+                };
+                println!("  format {version}: {count} entries ({note})");
+            }
             Ok(())
         }
         Command::CacheClear => {
@@ -364,6 +390,18 @@ fn run_target(target: &str, opts: &Opts) -> Result<(), String> {
                     "{}",
                     experiments::render_faults(Benchmark::Blackscholes, &points, &failures)
                 );
+            }
+            Ok(())
+        }
+        "lz" => {
+            let cfg = config(opts, 15_000);
+            let rows = experiments::lz_study(&cfg, cfg.seed, &[5, 10, 20], &Benchmark::ALL);
+            if opts.json {
+                print!("{}", experiments::lz_json(&rows));
+            } else if opts.csv {
+                print!("{}", experiments::lz_csv(&rows));
+            } else {
+                print!("{}", experiments::render_lz(&rows));
             }
             Ok(())
         }

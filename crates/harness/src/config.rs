@@ -2,6 +2,7 @@
 
 use anoc_compression::di::{DiConfig, DiDecoder, DiEncoder};
 use anoc_compression::fp::{FpDecoder, FpEncoder};
+use anoc_compression::lz::{LzConfig, LzDecoder, LzEncoder};
 use anoc_core::avcl::Avcl;
 use anoc_core::threshold::ErrorThreshold;
 use anoc_noc::{FaultPlan, NocConfig, NodeCodec};
@@ -19,6 +20,11 @@ pub enum Mechanism {
     FpComp,
     /// Frequent-pattern compression + VAXX approximation.
     FpVaxx,
+    /// Streaming approximate-LZ compression + VAXX approximation: cross-word
+    /// back-references within a cache block, confirmed against AVCL
+    /// don't-care patterns. Not part of the paper's five-way comparison
+    /// ([`Mechanism::ALL`]); driven by the `anoc run lz` study.
+    LzVaxx,
     /// A custom mechanism driven through [`crate::runner::run_custom`]
     /// (extension studies: BD-COMP/BD-VAXX, adaptive, windowed FP-VAXX).
     Custom(&'static str),
@@ -42,6 +48,7 @@ impl Mechanism {
             Mechanism::DiVaxx => "DI-VAXX",
             Mechanism::FpComp => "FP-COMP",
             Mechanism::FpVaxx => "FP-VAXX",
+            Mechanism::LzVaxx => "LZ-VAXX",
             Mechanism::Custom(name) => name,
         }
     }
@@ -56,6 +63,7 @@ impl Mechanism {
             "DI-VAXX" => Mechanism::DiVaxx,
             "FP-COMP" => Mechanism::FpComp,
             "FP-VAXX" => Mechanism::FpVaxx,
+            "LZ-VAXX" => Mechanism::LzVaxx,
             "BD-COMP" => Mechanism::Custom("BD-COMP"),
             "BD-VAXX" => Mechanism::Custom("BD-VAXX"),
             "FP-adaptive" => Mechanism::Custom("FP-adaptive"),
@@ -66,10 +74,16 @@ impl Mechanism {
 
     /// Whether this mechanism performs value approximation.
     pub fn is_vaxx(&self) -> bool {
-        matches!(self, Mechanism::DiVaxx | Mechanism::FpVaxx)
+        matches!(
+            self,
+            Mechanism::DiVaxx | Mechanism::FpVaxx | Mechanism::LzVaxx
+        )
     }
 
-    /// Whether this mechanism uses the dynamic dictionary.
+    /// Whether this mechanism uses the dynamic dictionary (the shared
+    /// encoder/decoder PMT with its install/invalidate notification
+    /// protocol). LZ-VAXX's dictionary is intra-block and stateless, so it
+    /// does not count.
     pub fn is_dictionary(&self) -> bool {
         matches!(self, Mechanism::DiComp | Mechanism::DiVaxx)
     }
@@ -108,6 +122,13 @@ impl Mechanism {
                         Box::new(DiDecoder::new(cfg)),
                     )
                 }
+                Mechanism::LzVaxx => NodeCodec::new(
+                    Box::new(LzEncoder::lz_vaxx(
+                        LzConfig::default(),
+                        Avcl::new(threshold),
+                    )),
+                    Box::new(LzDecoder::new()),
+                ),
             })
             .collect()
     }
@@ -283,6 +304,7 @@ mod tests {
                 Mechanism::DiVaxx => "DI-VAXX",
                 Mechanism::FpComp => "FP-COMP",
                 Mechanism::FpVaxx => "FP-VAXX",
+                Mechanism::LzVaxx => "LZ-VAXX",
                 Mechanism::Custom(name) => name,
             };
             assert_eq!(codecs[0].encoder.name(), expected);
@@ -291,11 +313,22 @@ mod tests {
     }
 
     #[test]
+    fn lz_vaxx_is_first_class_but_outside_the_paper_comparison() {
+        assert!(!Mechanism::ALL.contains(&Mechanism::LzVaxx));
+        assert_eq!(Mechanism::from_name("LZ-VAXX"), Some(Mechanism::LzVaxx));
+        let codecs = Mechanism::LzVaxx.codecs(4, ErrorThreshold::default());
+        assert_eq!(codecs.len(), 4);
+        assert_eq!(codecs[0].encoder.name(), "LZ-VAXX");
+    }
+
+    #[test]
     fn vaxx_and_dictionary_classification() {
         assert!(Mechanism::DiVaxx.is_vaxx() && Mechanism::FpVaxx.is_vaxx());
+        assert!(Mechanism::LzVaxx.is_vaxx());
         assert!(!Mechanism::DiComp.is_vaxx() && !Mechanism::Baseline.is_vaxx());
         assert!(Mechanism::DiComp.is_dictionary() && Mechanism::DiVaxx.is_dictionary());
         assert!(!Mechanism::FpComp.is_dictionary());
+        assert!(!Mechanism::LzVaxx.is_dictionary());
     }
 
     #[test]

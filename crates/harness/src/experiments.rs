@@ -827,6 +827,171 @@ pub fn render_extension(benchmark: Benchmark, results: &[RunResult]) -> String {
     out
 }
 
+/// One cell of the LZ-VAXX study (`anoc run lz`): one mechanism at one
+/// error threshold on one benchmark, with the end-to-end bound auditor armed.
+#[derive(Debug, Clone, Copy)]
+pub struct LzStudyRow {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Error threshold percentage of this sweep point.
+    pub threshold_percent: u32,
+    /// Mechanism (DI-VAXX, FP-VAXX or LZ-VAXX).
+    pub mechanism: Mechanism,
+    /// Compression ratio (input bits / output bits).
+    pub compression_ratio: f64,
+    /// The encoder's pipeline latency in cycles (LZ-VAXX pays one extra
+    /// cycle for cross-word match extension).
+    pub encode_latency_cycles: u64,
+    /// Average end-to-end packet latency in cycles.
+    pub avg_packet_latency: f64,
+    /// Data value quality (1 − mean relative word error).
+    pub quality: f64,
+    /// Delivered words audited by the end-to-end bound checker.
+    pub bound_checked_words: u64,
+    /// Audited words whose error exceeded the threshold (must be 0 in a
+    /// fault-free run for every enumerated mechanism).
+    pub bound_violations: u64,
+}
+
+/// The LZ-VAXX study: sweeps `thresholds` × `benchmarks` × the three VAXX
+/// mechanisms (DI, FP, LZ) with the bound auditor armed, so LZ-VAXX's
+/// compression ratio, encode latency and output quality land next to the
+/// paper's two mechanisms at equal error budgets.
+pub fn lz_study(
+    config: &SystemConfig,
+    seed: u64,
+    thresholds: &[u32],
+    benchmarks: &[Benchmark],
+) -> Vec<LzStudyRow> {
+    const MECHANISMS: [Mechanism; 3] = [Mechanism::DiVaxx, Mechanism::FpVaxx, Mechanism::LzVaxx];
+    let mut jobs = Vec::new();
+    for &t in thresholds {
+        let cfg = config.clone().with_threshold(t);
+        for &b in benchmarks {
+            for m in MECHANISMS {
+                jobs.push(benchmark_job(b, m, &cfg, seed));
+            }
+        }
+    }
+    let mut results = context().run("lz", jobs).into_iter();
+    let mut rows = Vec::new();
+    for &t in thresholds {
+        let threshold = config.clone().with_threshold(t).threshold();
+        for &b in benchmarks {
+            for m in MECHANISMS {
+                let r = results.next().expect("one result per cell");
+                rows.push(LzStudyRow {
+                    benchmark: b,
+                    threshold_percent: t,
+                    mechanism: m,
+                    compression_ratio: r.stats.encode.compression_ratio(),
+                    encode_latency_cycles: m.codecs(1, threshold)[0].encoder.compression_latency(),
+                    avg_packet_latency: r.avg_packet_latency(),
+                    quality: r.data_quality(),
+                    bound_checked_words: r.stats.faults.bound_checked_words,
+                    bound_violations: r.stats.faults.bound_violations,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the LZ-VAXX study as a text table, with a per-threshold summary
+/// of how many apps LZ-VAXX compresses at least as well as DI-VAXX on.
+pub fn render_lz(rows: &[LzStudyRow]) -> String {
+    let mut out = String::from(
+        "LZ-VAXX study: streaming approximate-LZ vs DI-VAXX / FP-VAXX\n\
+         threshold%  benchmark      mechanism  comp_ratio  enc_lat  latency  quality  checked  violations\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>9} {:<15} {:<9} {:>11.3} {:>8} {:>8.2} {:>8.4} {:>8} {:>11}\n",
+            r.threshold_percent,
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.compression_ratio,
+            r.encode_latency_cycles,
+            r.avg_packet_latency,
+            r.quality,
+            r.bound_checked_words,
+            r.bound_violations,
+        ));
+    }
+    let mut thresholds: Vec<u32> = rows.iter().map(|r| r.threshold_percent).collect();
+    thresholds.dedup();
+    for t in thresholds {
+        let di: Vec<&LzStudyRow> = rows
+            .iter()
+            .filter(|r| r.threshold_percent == t && r.mechanism == Mechanism::DiVaxx)
+            .collect();
+        let wins = rows
+            .iter()
+            .filter(|r| r.threshold_percent == t && r.mechanism == Mechanism::LzVaxx)
+            .filter(|lz| {
+                di.iter().any(|d| {
+                    d.benchmark == lz.benchmark && lz.compression_ratio >= d.compression_ratio
+                })
+            })
+            .count();
+        out.push_str(&format!(
+            "summary: at {t}% threshold LZ-VAXX >= DI-VAXX compression on {wins}/{} apps\n",
+            di.len()
+        ));
+    }
+    out
+}
+
+/// Serialises the LZ-VAXX study as CSV.
+pub fn lz_csv(rows: &[LzStudyRow]) -> String {
+    let mut out = String::from(
+        "threshold_percent,benchmark,mechanism,compression_ratio,encode_latency_cycles,avg_packet_latency,quality,bound_checked_words,bound_violations\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{},{:.4},{:.6},{},{}\n",
+            r.threshold_percent,
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.compression_ratio,
+            r.encode_latency_cycles,
+            r.avg_packet_latency,
+            r.quality,
+            r.bound_checked_words,
+            r.bound_violations,
+        ));
+    }
+    out
+}
+
+/// Serialises the LZ-VAXX study as JSON (schema documented in
+/// EXPERIMENTS.md): `{"study":"lz","rows":[{...}, ...]}`.
+pub fn lz_json(rows: &[LzStudyRow]) -> String {
+    let mut out = String::from("{\"study\":\"lz\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"threshold_percent\":{},\"benchmark\":\"{}\",\"mechanism\":\"{}\",\
+             \"compression_ratio\":{:.6},\"encode_latency_cycles\":{},\
+             \"avg_packet_latency\":{:.4},\"quality\":{:.6},\
+             \"bound_checked_words\":{},\"bound_violations\":{}}}",
+            r.threshold_percent,
+            r.benchmark.name(),
+            r.mechanism.name(),
+            r.compression_ratio,
+            r.encode_latency_cycles,
+            r.avg_packet_latency,
+            r.quality,
+            r.bound_checked_words,
+            r.bound_violations,
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 /// Serialises Figure 9 rows as CSV.
 pub fn fig9_csv(rows: &[Fig9Row]) -> String {
     let mut out = String::from("benchmark,mechanism,queue_lat,net_lat,decode_lat,total,quality\n");
@@ -1033,6 +1198,37 @@ mod tests {
         assert!(txt.contains("DI-based") && txt.contains("FP-based"));
         let csv = sensitivity_csv(&rows);
         assert!(csv.lines().count() == 1 + 2 * 3, "{csv}");
+    }
+
+    #[test]
+    fn lz_study_audits_bounds_and_reports_all_three_mechanisms() {
+        let cfg = SystemConfig::paper().with_sim_cycles(1_500);
+        let rows = lz_study(&cfg, 6, &[10], &[Benchmark::Ssca2, Benchmark::Blackscholes]);
+        assert_eq!(rows.len(), 6, "2 benchmarks x 3 mechanisms");
+        for r in &rows {
+            assert!(r.compression_ratio >= 0.9, "{r:?}");
+            assert!(r.bound_checked_words > 0, "auditor must be armed: {r:?}");
+            assert_eq!(r.bound_violations, 0, "fault-free run violated: {r:?}");
+            assert!(r.quality > 0.9, "{r:?}");
+        }
+        let lz: Vec<_> = rows
+            .iter()
+            .filter(|r| r.mechanism == Mechanism::LzVaxx)
+            .collect();
+        assert_eq!(lz.len(), 2);
+        assert!(lz.iter().all(|r| r.encode_latency_cycles == 4));
+
+        let txt = render_lz(&rows);
+        assert!(
+            txt.contains("LZ-VAXX") && txt.contains("summary: at 10%"),
+            "{txt}"
+        );
+        let csv = lz_csv(&rows);
+        assert_eq!(csv.lines().count(), 1 + 6);
+        let json = lz_json(&rows);
+        assert!(json.starts_with("{\"study\":\"lz\",\"rows\":["), "{json}");
+        assert_eq!(json.matches("\"mechanism\":\"LZ-VAXX\"").count(), 2);
+        assert!(json.trim_end().ends_with("]}"), "{json}");
     }
 
     #[test]

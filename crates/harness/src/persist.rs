@@ -17,7 +17,26 @@ use crate::runner::RunResult;
 
 /// Magic first line of the payload; bump the version when the layout of
 /// [`RunResult`] changes so stale cache entries turn into misses.
-const MAGIC: &str = "# anoc-result v3";
+///
+/// v4: the mechanism namespace grew (`LZ-VAXX`). Entries written by a v3
+/// reader must be rejected, not misparsed, because a v3 binary cannot
+/// reconstruct the new mechanism and a v4 binary must not trust cells keyed
+/// under the old name rules.
+const MAGIC: &str = "# anoc-result v4";
+
+/// The payload version this build writes and accepts (the numeric suffix of
+/// [`MAGIC`]); exposed so cache tooling can report version mixes.
+pub const RESULT_FORMAT_VERSION: u32 = 4;
+
+/// Extracts the result-format version of a stored payload without decoding
+/// it: `Some(3)` for a stale `# anoc-result v3` entry, `None` for payloads
+/// that are not results at all. Lets `anoc cache stats` report how much of
+/// the cache is usable by this build versus stale.
+pub fn payload_version(payload: &str) -> Option<u32> {
+    let first = payload.lines().next()?;
+    let v = first.strip_prefix("# anoc-result v")?;
+    v.parse().ok()
+}
 
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -279,10 +298,28 @@ mod tests {
         let good = encode_run_result(&r);
         assert!(decode_run_result("").is_none());
         assert!(decode_run_result("garbage").is_none());
-        assert!(decode_run_result(&good.replace("v3", "v2")).is_none());
+        assert!(decode_run_result(&good.replace("v4", "v3")).is_none());
         let truncated = &good[..good.rfind("activity_cycles").expect("field present")];
         assert!(decode_run_result(truncated).is_none());
         let unknown = good.replace("mechanism FP-VAXX", "mechanism NO-SUCH");
         assert!(decode_run_result(&unknown).is_none());
+    }
+
+    #[test]
+    fn v3_entries_are_rejected_not_misparsed() {
+        // A v3 payload is layout-compatible line by line; only the magic
+        // differs. The reader must still refuse it — silently accepting
+        // stale-versioned cells would let pre-LZ-VAXX results leak into v4
+        // campaigns.
+        let cfg = SystemConfig::paper().with_sim_cycles(1_000);
+        let r = run_benchmark(Benchmark::X264, Mechanism::DiVaxx, &cfg, 2);
+        let v4 = encode_run_result(&r);
+        assert!(v4.starts_with("# anoc-result v4\n"), "{v4}");
+        let v3 = v4.replacen("# anoc-result v4", "# anoc-result v3", 1);
+        assert!(decode_run_result(&v3).is_none());
+        assert_eq!(payload_version(&v3), Some(3));
+        assert_eq!(payload_version(&v4), Some(RESULT_FORMAT_VERSION));
+        assert_eq!(payload_version("not a result"), None);
+        assert_eq!(payload_version(""), None);
     }
 }

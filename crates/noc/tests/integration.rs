@@ -382,3 +382,111 @@ fn traced_pipeline_timing_is_three_cycles_per_hop() {
     // Untracked packets have no trace.
     assert!(sim.trace(pid + 1).is_none());
 }
+
+fn lz_codecs(nodes: usize, percent: u32) -> Vec<NodeCodec> {
+    use anoc_compression::lz::{LzConfig, LzDecoder, LzEncoder};
+    let t = if percent == 0 {
+        ErrorThreshold::exact()
+    } else {
+        ErrorThreshold::from_percent(percent).expect("valid")
+    };
+    (0..nodes)
+        .map(|_| {
+            NodeCodec::new(
+                Box::new(LzEncoder::lz_vaxx(LzConfig::default(), Avcl::new(t))),
+                Box::new(LzDecoder::new()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn lz_vaxx_delivers_within_bound_through_the_noc() {
+    // End-to-end: LZ-VAXX codecs in the NIs, the bound auditor armed at the
+    // same 10% the encoder approximates at. Every delivered word must sit
+    // within the threshold of what was enqueued, and the auditor must agree.
+    use anoc_core::data::DataType;
+    let config = NocConfig::mesh_3x3();
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, lz_codecs(nodes, 10));
+    sim.set_bound_check(ErrorThreshold::from_percent(10).expect("valid"));
+    let mut rng = Pcg32::seed_from_u64(0x12F0);
+    let mut sent = Vec::new();
+    for _ in 0..12 {
+        // Benchmark-shaped data: runs of a base value with small jitter
+        // (inside the 10% budget), zeros, and some noise words.
+        let base = (rng.next_u32() >> 12) as i32 + 1;
+        let words: Vec<i32> = (0..16)
+            .map(|i| match i % 4 {
+                0 | 1 => base + (rng.below(1 + base as u32 / 16) as i32),
+                2 => 0,
+                _ => (rng.next_u32() >> rng.below(24)) as i32,
+            })
+            .collect();
+        let block = CacheBlock::from_i32(&words);
+        sent.push(block.clone());
+        sim.enqueue_data(NodeId(0), NodeId(8), block);
+        sim.run(100); // spaced, so deliveries stay in order
+    }
+    assert!(sim.drain(20_000));
+    assert!(
+        sim.take_fatal_error().is_none(),
+        "bound checker must not fire on a fault-free LZ-VAXX run"
+    );
+    let delivered: Vec<_> = sim
+        .drain_delivered()
+        .into_iter()
+        .filter(|d| d.kind == PacketKind::Data)
+        .collect();
+    assert_eq!(delivered.len(), sent.len());
+    for (orig, d) in sent.iter().zip(&delivered) {
+        let got = d.block.as_ref().expect("data packet has a block");
+        for (p, a) in orig.words().iter().zip(got.words()) {
+            let err = Avcl::relative_error(*p, *a, DataType::Int).unwrap();
+            assert!(err <= 0.10 + 1e-9, "word {p:#x} -> {a:#x} err {err}");
+        }
+    }
+    let s = sim.stats();
+    assert!(s.faults.bound_checked_words > 0, "auditor saw no words");
+    assert_eq!(s.faults.bound_violations, 0);
+    assert!(
+        s.encode.bits_out < s.encode.bits_in,
+        "LZ-VAXX failed to compress: {:?}",
+        s.encode
+    );
+}
+
+#[test]
+fn lz_vaxx_seed_dictionary_is_a_fault_site() {
+    // The dict-corruption fault site must reach the LZ encoder's seed
+    // dictionary: with corruption at every opportunity the injector's
+    // counter climbs, and the run completes (violations are non-fatal while
+    // faults are active).
+    use anoc_noc::FaultPlan;
+    let config = NocConfig::mesh_3x3();
+    let nodes = config.num_nodes();
+    let mut sim = NocSim::new(config, lz_codecs(nodes, 10));
+    sim.set_fault_plan(FaultPlan {
+        seed: 7,
+        dict_corrupt_ppm: 1_000_000,
+        ..FaultPlan::none()
+    });
+    sim.set_bound_check(ErrorThreshold::from_percent(10).expect("valid"));
+    for i in 0..10 {
+        sim.enqueue_data(
+            NodeId(0),
+            NodeId(8),
+            CacheBlock::from_i32(&[i, i, 1000 + i, 1000 + i]),
+        );
+        sim.run(100);
+    }
+    assert!(sim.drain(20_000));
+    assert!(sim.take_fatal_error().is_none());
+    let s = sim.stats();
+    assert!(
+        s.faults.dict_corruptions >= 10,
+        "every data enqueue should corrupt a seed slot: {:?}",
+        s.faults
+    );
+    assert!(s.faults.bound_checked_words > 0);
+}
