@@ -501,10 +501,7 @@ mod tests {
             })
             .collect();
         assert!(!dist_bits.is_empty());
-        assert!(
-            dist_bits[1..].contains(&SHORT_DIST_BITS),
-            "{dist_bits:?}"
-        );
+        assert!(dist_bits[1..].contains(&SHORT_DIST_BITS), "{dist_bits:?}");
     }
 
     #[test]

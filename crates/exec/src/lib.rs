@@ -47,4 +47,4 @@ pub use campaign::{
     run_campaign, run_campaign_checked, CampaignOptions, CampaignOutcome, CampaignReport,
     CellError, CellFailure, JobSpec, ResultCodec,
 };
-pub use pool::ThreadPool;
+pub use pool::{plan_threads, ThreadPool, WorkerSet};

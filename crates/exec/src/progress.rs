@@ -22,6 +22,74 @@ pub fn enabled() -> bool {
     }
 }
 
+/// The `, eta 12.3s` fragment, or empty when no estimate is possible:
+/// nothing finished yet, nothing left, or a zero elapsed clock (an
+/// all-cached warm rerun resolves faster than the timer resolution, and
+/// `0 / 0` here used to surface as `NaN` in the printed line).
+fn eta_fragment(elapsed: Duration, done: usize, total: usize) -> String {
+    if done == 0 || total <= done || elapsed.is_zero() {
+        return String::new();
+    }
+    let per_job = elapsed.as_secs_f64() / done as f64;
+    format!(", eta {:.1}s", per_job * (total - done) as f64)
+}
+
+/// The ` 1.23 Mcyc/s` throughput fragment, or empty when it would be
+/// meaningless: no simulated cycles (cache hits simulate nothing) or a
+/// zero-duration wall clock (which would divide to `inf`).
+fn rate_fragment(sim_cycles: u64, wall: Duration) -> String {
+    if sim_cycles == 0 || wall.is_zero() {
+        return String::new();
+    }
+    format!(
+        " {:.2} Mcyc/s",
+        sim_cycles as f64 / wall.as_secs_f64() / 1e6
+    )
+}
+
+/// Renders one per-job progress line from a snapshot of the counters.
+#[allow(clippy::too_many_arguments)]
+fn format_job_line(
+    label: &str,
+    done: usize,
+    total: usize,
+    running: usize,
+    cache_hits: usize,
+    elapsed: Duration,
+    id: &str,
+    wall: Duration,
+    sim_cycles: Option<u64>,
+) -> String {
+    format!(
+        "[{label}] {done}/{total} done ({running} running, {cache_hits} cached, {:.1}s elapsed{})  {id} {:.0}ms{}",
+        elapsed.as_secs_f64(),
+        eta_fragment(elapsed, done, total),
+        wall.as_secs_f64() * 1e3,
+        rate_fragment(sim_cycles.unwrap_or(0), wall),
+    )
+}
+
+/// Renders the end-of-campaign summary line.
+fn format_finish_line(
+    label: &str,
+    total: usize,
+    executed: usize,
+    cache_hits: usize,
+    elapsed: Duration,
+    sim_cycles: u64,
+) -> String {
+    let rate = rate_fragment(sim_cycles, elapsed);
+    let rate = if rate.is_empty() {
+        rate
+    } else {
+        format!(",{rate}")
+    };
+    format!(
+        "[{label}] campaign complete: {total} jobs, {executed} executed, {cache_hits} cached, {:.1}s{rate}",
+        elapsed.as_secs_f64(),
+    )
+}
+
 /// Tracks and prints the state of one running campaign.
 pub struct Progress {
     label: String,
@@ -92,29 +160,16 @@ impl Progress {
                 None
             } else {
                 s.last_print = Some(Instant::now());
-                let elapsed = s.started.elapsed();
-                let eta = if s.done > 0 && s.total > s.done {
-                    let per_job = elapsed.as_secs_f64() / s.done as f64;
-                    format!(", eta {:.1}s", per_job * (s.total - s.done) as f64)
-                } else {
-                    String::new()
-                };
-                let rate = match sim_cycles {
-                    Some(c) if !wall.is_zero() => {
-                        format!(" {:.2} Mcyc/s", c as f64 / wall.as_secs_f64() / 1e6)
-                    }
-                    _ => String::new(),
-                };
-                Some(format!(
-                    "[{}] {}/{} done ({} running, {} cached, {:.1}s elapsed{eta})  {} {:.0}ms{rate}",
-                    self.label,
+                Some(format_job_line(
+                    &self.label,
                     s.done,
                     s.total,
                     s.running,
                     s.cache_hits,
-                    elapsed.as_secs_f64(),
+                    s.started.elapsed(),
                     id,
-                    wall.as_secs_f64() * 1e3,
+                    wall,
+                    sim_cycles,
                 ))
             }
         };
@@ -129,24 +184,15 @@ impl Progress {
             return;
         }
         let s = self.lock();
-        let elapsed = s.started.elapsed();
-        let rate = if s.sim_cycles > 0 && !elapsed.is_zero() {
-            format!(
-                ", {:.2} Mcyc/s",
-                s.sim_cycles as f64 / elapsed.as_secs_f64() / 1e6
-            )
-        } else {
-            String::new()
-        };
-        let _ = writeln!(
-            std::io::stderr(),
-            "[{}] campaign complete: {} jobs, {} executed, {} cached, {:.1}s{rate}",
-            self.label,
+        let line = format_finish_line(
+            &self.label,
             s.total,
             executed,
             s.cache_hits,
-            elapsed.as_secs_f64(),
+            s.started.elapsed(),
+            s.sim_cycles,
         );
+        let _ = writeln!(std::io::stderr(), "{line}");
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
@@ -180,6 +226,66 @@ mod tests {
         p.job_finished("x", Duration::ZERO, None);
         p.finish(1);
         assert_eq!(p.lock().done, 1);
+    }
+
+    fn assert_finite(line: &str) {
+        assert!(
+            !line.contains("NaN") && !line.contains("inf"),
+            "non-finite value leaked into progress line: {line}"
+        );
+    }
+
+    #[test]
+    fn cold_run_line_reports_rate_and_eta() {
+        let line = format_job_line(
+            "fig9",
+            1,
+            4,
+            2,
+            0,
+            Duration::from_secs(2),
+            "ssca2/FP-VAXX/s42",
+            Duration::from_secs(1),
+            Some(3_000_000),
+        );
+        assert_finite(&line);
+        assert!(line.contains("1/4 done"), "{line}");
+        assert!(line.contains("eta 6.0s"), "{line}");
+        assert!(line.contains("3.00 Mcyc/s"), "{line}");
+    }
+
+    #[test]
+    fn all_cached_rerun_prints_no_nan_or_inf() {
+        // A warm rerun answers everything from the cache: zero wall, zero
+        // simulated cycles, zero executed jobs. Every divide must vanish
+        // from the line instead of rendering NaN/inf.
+        let line = format_job_line(
+            "fig9",
+            8,
+            8,
+            0,
+            8,
+            Duration::ZERO,
+            "cached",
+            Duration::ZERO,
+            Some(0),
+        );
+        assert_finite(&line);
+        assert!(!line.contains("eta"), "{line}");
+        assert!(!line.contains("Mcyc/s"), "{line}");
+        let summary = format_finish_line("fig9", 8, 0, 8, Duration::ZERO, 0);
+        assert_finite(&summary);
+        assert!(summary.contains("0 executed, 8 cached"), "{summary}");
+        assert!(!summary.contains("Mcyc/s"), "{summary}");
+    }
+
+    #[test]
+    fn zero_elapsed_with_pending_jobs_suppresses_eta() {
+        assert_eq!(eta_fragment(Duration::ZERO, 1, 4), "");
+        assert_eq!(eta_fragment(Duration::from_secs(1), 0, 4), "");
+        assert_eq!(eta_fragment(Duration::from_secs(1), 4, 4), "");
+        assert_eq!(rate_fragment(0, Duration::from_secs(1)), "");
+        assert_eq!(rate_fragment(1_000, Duration::ZERO), "");
     }
 
     #[test]

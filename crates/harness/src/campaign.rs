@@ -44,6 +44,7 @@ pub struct ExecContext {
     sim_cycles: AtomicU64,
     wall_nanos: AtomicU64,
     executed_jobs: AtomicU64,
+    cached_jobs: AtomicU64,
     keep_going: AtomicBool,
     failed_cells: AtomicU64,
 }
@@ -56,6 +57,7 @@ impl ExecContext {
             sim_cycles: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
             executed_jobs: AtomicU64::new(0),
+            cached_jobs: AtomicU64::new(0),
             keep_going: AtomicBool::new(false),
             failed_cells: AtomicU64::new(0),
         }
@@ -72,6 +74,8 @@ pub struct ExecTotals {
     pub wall: Duration,
     /// Jobs that actually simulated (cache hits excluded).
     pub executed_jobs: u64,
+    /// Jobs answered from the result cache without simulating.
+    pub cached_jobs: u64,
 }
 
 impl ExecTotals {
@@ -215,10 +219,19 @@ impl ExecContext {
     fn record_report(&self, report: &CampaignReport) {
         self.sim_cycles
             .fetch_add(report.sim_cycles, Ordering::Relaxed);
-        self.wall_nanos
-            .fetch_add(report.wall.as_nanos() as u64, Ordering::Relaxed);
+        // Wall time counts toward throughput only when the campaign actually
+        // simulated something: an all-cached campaign spends its wall on
+        // cache lookups, and folding that into the denominator while its
+        // cycles (zero) fold into the numerator made warm-rerun Mcyc/s
+        // numbers meaningless.
+        if report.executed > 0 {
+            self.wall_nanos
+                .fetch_add(report.wall.as_nanos() as u64, Ordering::Relaxed);
+        }
         self.executed_jobs
             .fetch_add(report.executed as u64, Ordering::Relaxed);
+        self.cached_jobs
+            .fetch_add(report.cache_hits as u64, Ordering::Relaxed);
     }
 
     /// Totals accumulated over every campaign this context has run.
@@ -227,6 +240,7 @@ impl ExecContext {
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
             wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
             executed_jobs: self.executed_jobs.load(Ordering::Relaxed),
+            cached_jobs: self.cached_jobs.load(Ordering::Relaxed),
         }
     }
 }
@@ -349,6 +363,14 @@ mod tests {
             assert_ne!(config_key(v), k0, "{v:?}");
         }
         assert_eq!(config_key(&base), config_key(&SystemConfig::paper()));
+    }
+
+    #[test]
+    fn config_key_is_shard_independent() {
+        // Sharded execution is bit-identical to serial (DESIGN.md §10), so
+        // the shard count must never invalidate cached results.
+        let base = SystemConfig::paper();
+        assert_eq!(config_key(&base), config_key(&base.clone().with_shards(4)));
     }
 
     #[test]

@@ -41,13 +41,17 @@ targets:
   table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 extensions
   faults      fault-injection resilience sweep (latency/quality vs flip rate)
   lz          LZ-VAXX study: threshold x workload vs DI-VAXX/FP-VAXX
-  all         every table and figure in order
+  scale       kernel scaling sweep: 8x8 -> 32x32 cmesh, serial vs sharded
+  all         every table and figure in order (excludes scale)
   ablations   the sensitivity studies: fig13, fig14 and the extension study
 
 options:
   --cycles N    measured simulation cycles (default varies per target)
   --seed N      traffic/data RNG seed (default 42)
   --threads N   worker threads (default: ANOC_THREADS or all cores)
+  --shards N    worker shards inside each simulation (default 1 = serial;
+                results are bit-identical for any value)
+  --grids N     scale target only: sweep the N smallest meshes (default 3)
   --no-cache    always simulate; do not read or write the result cache
   --csv         emit CSV instead of a text table
   --json        emit JSON instead of a text table (lz target only)
@@ -83,6 +87,8 @@ struct Opts {
     cycles: u64,
     seed: u64,
     threads: Option<usize>,
+    shards: usize,
+    grids: usize,
     no_cache: bool,
     csv: bool,
     json: bool,
@@ -96,6 +102,8 @@ impl Default for Opts {
             cycles: 0,
             seed: 42,
             threads: None,
+            shards: 1,
+            grids: 3,
             no_cache: false,
             csv: false,
             json: false,
@@ -182,11 +190,16 @@ fn parse(argv: &[String]) -> Result<Command, String> {
                 args: it.map(str::to_string).collect(),
             });
         }
-        t if TARGETS.contains(&t) || t == "all" || t == "ablations" => ("run", t.to_string()),
+        t if TARGETS.contains(&t) || t == "all" || t == "ablations" || t == "scale" => {
+            ("run", t.to_string())
+        }
         other => return Err(format!("unknown command `{other}`")),
     };
     if kind == "run"
-        && !(TARGETS.contains(&target.as_str()) || target == "all" || target == "ablations")
+        && !(TARGETS.contains(&target.as_str())
+            || target == "all"
+            || target == "ablations"
+            || target == "scale")
     {
         return Err(format!("unknown target `{target}`"));
     }
@@ -202,6 +215,8 @@ fn parse(argv: &[String]) -> Result<Command, String> {
             "--cycles" => opts.cycles = num("--cycles")?,
             "--seed" => opts.seed = num("--seed")?,
             "--threads" => opts.threads = Some(num("--threads")?.max(1) as usize),
+            "--shards" => opts.shards = num("--shards")?.max(1) as usize,
+            "--grids" => opts.grids = num("--grids")?.max(1) as usize,
             "--no-cache" => opts.no_cache = true,
             "--csv" => opts.csv = true,
             "--json" => opts.json = true,
@@ -218,6 +233,11 @@ fn parse(argv: &[String]) -> Result<Command, String> {
 }
 
 /// Installs the process-wide execution context from the CLI options.
+///
+/// When `--shards` is active every simulation multiplies the process's
+/// parallelism by its shard count, so the campaign-level worker budget is
+/// divided down with [`anoc_exec::plan_threads`] to keep `--threads` (or the
+/// machine's core count) from being oversubscribed.
 fn install_context(opts: &Opts) -> Result<(), String> {
     let cache = if opts.no_cache {
         None
@@ -227,7 +247,17 @@ fn install_context(opts: &Opts) -> Result<(), String> {
                 .map_err(|e| format!("cannot open result cache: {e} (try --no-cache)"))?,
         )
     };
-    campaign::configure(opts.threads, cache);
+    let threads = if opts.shards > 1 {
+        let total = opts.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Some(anoc_exec::plan_threads(total, opts.shards).0)
+    } else {
+        opts.threads
+    };
+    campaign::configure(threads, cache);
     campaign::context().set_keep_going(opts.keep_going);
     Ok(())
 }
@@ -243,6 +273,7 @@ fn config(opts: &Opts, default_cycles: u64) -> SystemConfig {
     SystemConfig::paper()
         .with_sim_cycles(cycles)
         .with_seed(opts.seed)
+        .with_shards(opts.shards)
 }
 
 fn execute(cmd: Command) -> Result<(), String> {
@@ -272,7 +303,7 @@ fn execute(cmd: Command) -> Result<(), String> {
                 cache.dir().display()
             );
             // Payload-format version mix: stale-versioned entries are dead
-            // weight (the v4 reader rejects them), so surface them here.
+            // weight (the current reader rejects them), so surface them here.
             let mut mix: std::collections::BTreeMap<String, usize> =
                 std::collections::BTreeMap::new();
             for payload in cache.payloads() {
@@ -310,7 +341,9 @@ fn execute(cmd: Command) -> Result<(), String> {
 
 /// Prints the simulation-throughput summary for everything this invocation
 /// executed. Goes to stderr (like progress lines) so tables and CSV on
-/// stdout stay clean; fully cached runs simulate nothing and print nothing.
+/// stdout stay clean. Only jobs that simulated this run enter the Mcyc/s
+/// numbers — cache hits simulate nothing, so they are reported on their own
+/// line instead of being folded into (and distorting) the throughput.
 fn print_sim_summary() {
     let t = campaign::context().totals();
     if t.executed_jobs > 0 {
@@ -320,6 +353,12 @@ fn print_sim_summary() {
             t.executed_jobs,
             t.wall.as_secs_f64(),
             t.cycles_per_second() / 1e6,
+        );
+    }
+    if t.cached_jobs > 0 {
+        eprintln!(
+            "answered {} cell(s) from the result cache (no cycles simulated for them)",
+            t.cached_jobs
         );
     }
 }
@@ -378,6 +417,7 @@ fn run_target(target: &str, opts: &Opts) -> Result<(), String> {
             Ok(())
         }
         "fig17" => fig17(opts),
+        "scale" => scale(opts),
         "faults" => {
             let cfg = config(opts, 15_000);
             let rates: [u32; 5] = [0, 100, 1_000, 10_000, 100_000];
@@ -491,6 +531,81 @@ fn fig17(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The `scale` target: single-simulation step-throughput across mesh sizes,
+/// serial kernel vs sharded kernel. It drives `NocSim::step` directly with
+/// the uniform-random workload of the kernel-fingerprint test, so the number
+/// measures the cycle kernel rather than a traffic generator. Timing is the
+/// measurement, so this never touches the result cache and runs one
+/// simulation at a time.
+fn scale(opts: &Opts) -> Result<(), String> {
+    use anoc_core::data::{CacheBlock, NodeId};
+    use anoc_core::rng::Pcg32;
+    use anoc_noc::{NocConfig, NocSim, NodeCodec};
+    use std::time::Instant;
+
+    let shards = if opts.shards > 1 { opts.shards } else { 4 };
+    let cycles = if opts.cycles == 0 { 2_000 } else { opts.cycles };
+    let grids: &[(usize, usize)] = &[(8, 8), (16, 16), (32, 32)];
+    let grids = &grids[..opts.grids.min(grids.len())];
+    println!("Kernel scaling: {cycles} stepped cycles per point, serial vs {shards} shards");
+    if opts.csv {
+        println!("mesh,nodes,serial_mcycs,sharded_mcycs,speedup");
+    }
+    for &(w, h) in grids {
+        let config = NocConfig::cmesh(w, h, 2);
+        let nodes = config.num_nodes();
+        let mut rates = [0.0f64; 2];
+        for (i, s) in [1, shards].into_iter().enumerate() {
+            let codecs = (0..nodes).map(|_| NodeCodec::baseline()).collect();
+            let mut sim = NocSim::new(config.clone(), codecs);
+            sim.set_shards(s);
+            let mut rng = Pcg32::seed_from_u64(opts.seed ^ 0xA90C);
+            let start = Instant::now();
+            for _ in 0..cycles {
+                for node in 0..nodes {
+                    let roll = rng.below(100);
+                    if roll >= 6 {
+                        continue;
+                    }
+                    let mut d = rng.below(nodes as u32) as usize;
+                    if d == node {
+                        d = (d + 1) % nodes;
+                    }
+                    if roll < 4 {
+                        sim.enqueue_control(NodeId(node as u16), NodeId(d as u16));
+                    } else {
+                        let word = rng.next_u32() as i32;
+                        sim.enqueue_data(
+                            NodeId(node as u16),
+                            NodeId(d as u16),
+                            CacheBlock::from_i32(&[word; 16]),
+                        );
+                    }
+                }
+                sim.step();
+                sim.discard_delivered();
+            }
+            rates[i] = cycles as f64 / start.elapsed().as_secs_f64().max(1e-9) / 1e6;
+        }
+        if opts.csv {
+            println!(
+                "{w}x{h},{nodes},{:.4},{:.4},{:.4}",
+                rates[0],
+                rates[1],
+                rates[1] / rates[0]
+            );
+        } else {
+            println!(
+                "  {w:>2}x{h:<2} cmesh ({nodes:>4} nodes): serial {:>7.3} Mcyc/s, {shards} shards {:>7.3} Mcyc/s, speedup {:.2}x",
+                rates[0],
+                rates[1],
+                rates[1] / rates[0]
+            );
+        }
+    }
+    Ok(())
+}
+
 fn capture(opts: &Opts) -> Result<(), String> {
     use anoc_traffic::{BenchmarkTraffic, Trace};
     let cfg = config(opts, 10_000);
@@ -531,12 +646,13 @@ fn replay(opts: &Opts) -> Result<(), String> {
         let mut replay = trace.replay();
         let r = run_with_source(&mut replay, m, &cfg);
         println!(
-            "  {:<9} latency {:>8.2}  p99 {:>5}  norm_flits {:.3}  quality {:.4}",
+            "  {:<9} latency {:>8.2}  p99 {:>5}  norm_flits {:.3}  quality {:.4}{}",
             m.name(),
             r.avg_packet_latency(),
             r.latency_percentile(99.0),
             r.stats.normalized_data_flits(),
-            r.data_quality()
+            r.data_quality(),
+            if r.drained { "" } else { "  [undrained]" },
         );
     }
     Ok(())
@@ -598,6 +714,36 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(!Opts::default().keep_going);
+    }
+
+    #[test]
+    fn shards_and_scale_parse() {
+        match parse_strs(&["run", "scale", "--shards", "4", "--grids", "1"]).expect("parse") {
+            Command::Run { target, opts } => {
+                assert_eq!(target, "scale");
+                assert_eq!(opts.shards, 4);
+                assert_eq!(opts.grids, 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // `scale` works as a bare alias like every other target, `--shards`
+        // threads into any target's config, and 0 clamps to serial.
+        match parse_strs(&["scale"]).expect("parse") {
+            Command::Run { target, opts } => {
+                assert_eq!(target, "scale");
+                assert_eq!(opts.shards, 1);
+                assert_eq!(opts.grids, 3);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_strs(&["run", "fig9", "--shards", "0"]).expect("parse") {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.shards, 1);
+                assert_eq!(config(&opts, 1_000).shards, 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_strs(&["run", "scale", "--shards"]).is_err());
     }
 
     #[test]

@@ -161,6 +161,10 @@ pub struct SystemConfig {
     pub faults: FaultPlan,
     /// Watchdog no-forward-progress horizon in cycles (0 disables).
     pub watchdog_horizon: u64,
+    /// Worker shards for the parallel cycle kernel (1 = serial). Sharded
+    /// execution is bit-identical to serial (DESIGN.md §10), so this knob is
+    /// deliberately excluded from the result-cache `config_key`.
+    pub shards: usize,
 }
 
 impl SystemConfig {
@@ -176,6 +180,7 @@ impl SystemConfig {
             seed: 42,
             faults: FaultPlan::none(),
             watchdog_horizon: 20_000,
+            shards: 1,
         }
     }
 
@@ -228,6 +233,15 @@ impl SystemConfig {
     #[must_use]
     pub fn with_watchdog(mut self, horizon: u64) -> Self {
         self.watchdog_horizon = horizon;
+        self
+    }
+
+    /// Overrides the shard count of the parallel cycle kernel (1 = serial).
+    /// Results are bit-identical for any value, so this never invalidates
+    /// cached results.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 

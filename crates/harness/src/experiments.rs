@@ -815,13 +815,16 @@ pub fn render_extension(benchmark: Benchmark, results: &[RunResult]) -> String {
     );
     for r in results {
         out.push_str(&format!(
-            "{:<13} {:>8.2} {:>11.3} {:>11.3} {:>12.3} {:>8.4}\n",
+            "{:<13} {:>8.2} {:>11.3} {:>11.3} {:>12.3} {:>8.4}{}\n",
             r.mechanism.name(),
             r.avg_packet_latency(),
             r.stats.normalized_data_flits(),
             r.stats.encode.compression_ratio(),
             r.stats.encode.approx_fraction(),
             r.data_quality(),
+            // A run that outlived its drain budget reports lower-bound
+            // delivery stats, not final ones — say so on the cell's line.
+            if r.drained { "" } else { "  [undrained]" },
         ));
     }
     out

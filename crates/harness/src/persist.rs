@@ -22,11 +22,15 @@ use crate::runner::RunResult;
 /// reader must be rejected, not misparsed, because a v3 binary cannot
 /// reconstruct the new mechanism and a v4 binary must not trust cells keyed
 /// under the old name rules.
-const MAGIC: &str = "# anoc-result v4";
+///
+/// v5: [`RunResult`] gained `drained` — whether the post-measurement drain
+/// completed within budget. v4 entries predate the flag and cannot tell a
+/// finished run from a truncated one, so they are rejected and resimulated.
+const MAGIC: &str = "# anoc-result v5";
 
 /// The payload version this build writes and accepts (the numeric suffix of
 /// [`MAGIC`]); exposed so cache tooling can report version mixes.
-pub const RESULT_FORMAT_VERSION: u32 = 4;
+pub const RESULT_FORMAT_VERSION: u32 = 5;
 
 /// Extracts the result-format version of a stored payload without decoding
 /// it: `Some(3)` for a stale `# anoc-result v3` entry, `None` for payloads
@@ -64,6 +68,7 @@ pub fn encode_run_result(r: &RunResult) -> String {
     out.push_str(&format!("mechanism {}\n", r.mechanism.name()));
     out.push_str(&format!("nodes {}\n", r.nodes));
     out.push_str(&format!("total_cycles {}\n", r.total_cycles));
+    out.push_str(&format!("drained {}\n", r.drained));
     out.push_str(&format!(
         "stats {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
         s.cycles,
@@ -143,6 +148,7 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
     let mechanism = Mechanism::from_name(lines.next()?.strip_prefix("mechanism ")?)?;
     let nodes: usize = lines.next()?.strip_prefix("nodes ")?.parse().ok()?;
     let total_cycles: u64 = lines.next()?.strip_prefix("total_cycles ")?.parse().ok()?;
+    let drained: bool = lines.next()?.strip_prefix("drained ")?.parse().ok()?;
     let st = parse_u64s::<13>(lines.next()?.strip_prefix("stats ")?)?;
     let en = parse_u64s::<6>(lines.next()?.strip_prefix("encode ")?)?;
 
@@ -239,6 +245,7 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
         },
         nodes,
         total_cycles,
+        drained,
     })
 }
 
@@ -254,6 +261,7 @@ mod tests {
         let back = decode_run_result(&text).expect("decode");
         assert_eq!(back.mechanism, r.mechanism);
         assert_eq!(back.nodes, r.nodes);
+        assert_eq!(back.drained, r.drained);
         // Re-encoding the decoded value must be byte-identical: that is the
         // exactness property the cache relies on.
         assert_eq!(encode_run_result(&back), text);
@@ -287,6 +295,7 @@ mod tests {
             activity: ActivityReport::default(),
             nodes: 0,
             total_cycles: 0,
+            drained: false,
         };
         assert_roundtrip(&r);
     }
@@ -298,7 +307,7 @@ mod tests {
         let good = encode_run_result(&r);
         assert!(decode_run_result("").is_none());
         assert!(decode_run_result("garbage").is_none());
-        assert!(decode_run_result(&good.replace("v4", "v3")).is_none());
+        assert!(decode_run_result(&good.replace("v5", "v4")).is_none());
         let truncated = &good[..good.rfind("activity_cycles").expect("field present")];
         assert!(decode_run_result(truncated).is_none());
         let unknown = good.replace("mechanism FP-VAXX", "mechanism NO-SUCH");
@@ -306,19 +315,21 @@ mod tests {
     }
 
     #[test]
-    fn v3_entries_are_rejected_not_misparsed() {
-        // A v3 payload is layout-compatible line by line; only the magic
-        // differs. The reader must still refuse it — silently accepting
-        // stale-versioned cells would let pre-LZ-VAXX results leak into v4
-        // campaigns.
+    fn stale_versions_are_rejected_not_misparsed() {
+        // Older payloads must be refused outright. A v4 entry in particular
+        // lacks the `drained` line, so accepting it would mistake a
+        // truncated run for a finished one; v3 additionally predates the
+        // LZ-VAXX mechanism namespace.
         let cfg = SystemConfig::paper().with_sim_cycles(1_000);
         let r = run_benchmark(Benchmark::X264, Mechanism::DiVaxx, &cfg, 2);
-        let v4 = encode_run_result(&r);
-        assert!(v4.starts_with("# anoc-result v4\n"), "{v4}");
-        let v3 = v4.replacen("# anoc-result v4", "# anoc-result v3", 1);
-        assert!(decode_run_result(&v3).is_none());
-        assert_eq!(payload_version(&v3), Some(3));
-        assert_eq!(payload_version(&v4), Some(RESULT_FORMAT_VERSION));
+        let v5 = encode_run_result(&r);
+        assert!(v5.starts_with("# anoc-result v5\n"), "{v5}");
+        for stale in [3u32, 4] {
+            let old = v5.replacen("# anoc-result v5", &format!("# anoc-result v{stale}"), 1);
+            assert!(decode_run_result(&old).is_none());
+            assert_eq!(payload_version(&old), Some(stale));
+        }
+        assert_eq!(payload_version(&v5), Some(RESULT_FORMAT_VERSION));
         assert_eq!(payload_version("not a result"), None);
         assert_eq!(payload_version(""), None);
     }

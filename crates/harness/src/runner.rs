@@ -20,6 +20,11 @@ pub struct RunResult {
     /// the host wall time this gives the simulator's cycles-per-second
     /// throughput, which the campaign layer reports per job.
     pub total_cycles: u64,
+    /// Whether the post-measurement drain finished within
+    /// `drain_cycles` — `false` means packets were still in flight when the
+    /// budget ran out and the delivery statistics are a lower bound, not
+    /// final (`stats.unfinished` counts the stragglers).
+    pub drained: bool,
 }
 
 impl RunResult {
@@ -53,6 +58,7 @@ impl RunResult {
             activity: ActivityReport::default(),
             nodes: 0,
             total_cycles: 0,
+            drained: false,
         }
     }
 
@@ -137,6 +143,7 @@ pub fn try_run_custom(
         "traffic source and NoC disagree on node count"
     );
     let mut sim = NocSim::new(config.noc.clone(), codecs);
+    sim.set_shards(config.shards);
     sim.set_fault_plan(config.faults);
     sim.set_watchdog(config.watchdog_horizon);
     if !matches!(mechanism, Mechanism::Custom(_)) {
@@ -168,7 +175,7 @@ pub fn try_run_custom(
     }
     // Stop offering traffic; let in-flight measured packets finish.
     sim.end_measurement();
-    sim.try_drain(config.drain_cycles)?;
+    let drained = sim.try_drain(config.drain_cycles)?;
     sim.discard_delivered();
     sim.record_unfinished();
     let activity = sim.activity_report();
@@ -179,6 +186,7 @@ pub fn try_run_custom(
         activity,
         nodes,
         total_cycles: sim.cycle(),
+        drained,
     })
 }
 
@@ -346,6 +354,37 @@ mod tests {
         // Different seeds give different but same-regime results.
         assert!(s.std_dev < s.mean * 0.5, "{s:?}");
         assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn incomplete_drain_is_recorded_not_silently_finalized() {
+        let mut cfg = quick();
+        let full = run_benchmark(Benchmark::Blackscholes, Mechanism::Baseline, &cfg, 7);
+        assert!(full.drained, "generous budget should drain completely");
+        assert_eq!(full.stats.unfinished, 0);
+        // A one-cycle drain budget cannot possibly flush in-flight packets.
+        cfg.drain_cycles = 1;
+        let cut = run_benchmark(Benchmark::Blackscholes, Mechanism::Baseline, &cfg, 7);
+        assert!(!cut.drained, "1-cycle drain budget reported as complete");
+        assert!(cut.stats.unfinished > 0, "stragglers not recorded");
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_runs_exactly() {
+        let cfg = quick();
+        let serial = run_benchmark(Benchmark::Ssca2, Mechanism::FpVaxx, &cfg, 9);
+        let sharded = run_benchmark(
+            Benchmark::Ssca2,
+            Mechanism::FpVaxx,
+            &cfg.clone().with_shards(4),
+            9,
+        );
+        assert_eq!(
+            format!("{:?}", serial.stats),
+            format!("{:?}", sharded.stats)
+        );
+        assert_eq!(serial.total_cycles, sharded.total_cycles);
+        assert_eq!(serial.drained, sharded.drained);
     }
 
     #[test]

@@ -66,6 +66,24 @@ impl NocConfig {
         }
     }
 
+    /// An arbitrary concentrated mesh with the paper's router parameters
+    /// (Table 1 VCs, buffers and flit width) — the scale-out topologies the
+    /// ROADMAP targets are instances of this.
+    pub fn cmesh(width: usize, height: usize, concentration: usize) -> Self {
+        NocConfig {
+            width,
+            height,
+            concentration,
+            ..NocConfig::paper_4x4_cmesh()
+        }
+    }
+
+    /// A datacenter-scale 16×16 concentrated mesh (512 nodes), the smallest
+    /// of the ROADMAP's scale-out topologies.
+    pub fn cmesh_16x16() -> Self {
+        NocConfig::cmesh(16, 16, 2)
+    }
+
     /// Total number of routers.
     pub fn num_routers(&self) -> usize {
         self.width * self.height
@@ -179,5 +197,8 @@ mod tests {
     fn presets() {
         assert_eq!(NocConfig::mesh_3x3().num_nodes(), 9);
         assert_eq!(NocConfig::mesh_8x8().num_nodes(), 64);
+        assert_eq!(NocConfig::cmesh_16x16().num_nodes(), 512);
+        assert!(NocConfig::cmesh_16x16().validate().is_ok());
+        assert_eq!(NocConfig::cmesh(32, 32, 2).num_nodes(), 2048);
     }
 }

@@ -33,6 +33,7 @@ pub mod histogram;
 pub mod ni;
 pub mod packet;
 pub mod router;
+mod shard;
 pub mod sim;
 pub mod stats;
 pub mod topology;

@@ -1,0 +1,459 @@
+//! Spatial sharding of the cycle kernel (DESIGN.md §10).
+//!
+//! A [`Shard`] owns a contiguous range of routers and the NIs attached to
+//! them: their input buffers, its own slice of the event ring, and the slab
+//! of packets *sourced* by its nodes. [`NocSim::step`](crate::NocSim::step)
+//! drives shards through a deterministic two-phase barrier:
+//!
+//! * **Phase A** (parallel): each shard drains its own ring slot into local
+//!   router buffers and runs VC + switch allocation over its routers,
+//!   reading only last-cycle-edge state and writing only shard-local state.
+//!   Ejections and trace lookups that would touch another shard's slab are
+//!   deferred into per-shard output queues.
+//! * **Cycle edge** (serial): the simulator walks shards in index order,
+//!   processing deferred ejections and applying link traversals — flit
+//!   scheduling into the *target* shard's ring and credit returns to the
+//!   *upstream* shard's routers/NIs. Because shards own contiguous
+//!   ascending router ranges and phase A emits grants in local
+//!   router-ascending order, the shard-concatenated traversal sequence is
+//!   globally router-ascending: exactly the order the single-shard kernel
+//!   produces, so sequential fault-RNG draws are shard-count-independent.
+//! * **Phase B2** (parallel): each shard injects at most one flit per local
+//!   NI into its *own* ring (a node's router is always in its own shard),
+//!   tallying injection statistics into order-independent integer counters
+//!   merged serially afterwards.
+//!
+//! The only per-site randomness inside phase A is the port-stall fault
+//! draw; it uses a stateless oracle keyed on `(plan seed, cycle, router,
+//! port)` instead of the shared sequential fault RNG, so its outcomes do not
+//! depend on arrival processing order (the same thread-count-independence
+//! discipline `FaultPlan` follows elsewhere).
+
+use anoc_core::data::NodeId;
+use anoc_core::rng::Pcg32;
+
+use crate::config::NocConfig;
+use crate::faults::{FaultPlan, PPM};
+use crate::ni::NiState;
+use crate::packet::{Flit, PacketId, PacketKind, PacketState};
+use crate::router::{LinkDest, Router, Upstream};
+use crate::topology::{Direction, Mesh};
+
+/// Ring-buffer horizon for scheduled arrivals (link events land at +1/+2).
+pub(crate) const EVENT_HORIZON: usize = 4;
+
+/// Low bits of a flit slot addressing the packet within its owning shard's
+/// slab; the remaining high bits carry the shard index.
+pub(crate) const SLOT_BITS: u32 = 24;
+pub(crate) const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+/// Maximum shard count representable in the slot encoding.
+pub(crate) const MAX_SHARDS: usize = 1 << (32 - SLOT_BITS);
+
+/// The shard owning a slot.
+pub(crate) fn shard_of_slot(slot: u32) -> usize {
+    (slot >> SLOT_BITS) as usize
+}
+
+/// The slab index of a slot within its owning shard.
+pub(crate) fn local_of_slot(slot: u32) -> usize {
+    (slot & SLOT_MASK) as usize
+}
+
+/// Encodes a shard index and local slab index into a flit slot.
+pub(crate) fn encode_slot(shard: usize, local: usize) -> u32 {
+    debug_assert!(shard < MAX_SHARDS && local <= SLOT_MASK as usize);
+    ((shard as u32) << SLOT_BITS) | local as u32
+}
+
+/// A flit in flight on a link, due at a scheduled cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Arrival {
+    pub target: LinkDest,
+    pub vc: usize,
+    pub flit: Flit,
+}
+
+/// The phase a worker runs on a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Ring drain + VC/switch allocation.
+    A,
+    /// NI injection.
+    B2,
+}
+
+/// Per-cycle context broadcast to every shard; immutable during a phase.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StepCtx {
+    pub now: u64,
+    pub faults: FaultPlan,
+    pub tracing: bool,
+}
+
+/// Injection statistics tallied shard-locally during phase B2. All plain
+/// integer sums, so the serial merge order cannot affect the totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct InjectTally {
+    pub flits: u64,
+    pub data_flits: u64,
+    pub control_flits: u64,
+    pub baseline_flits: u64,
+}
+
+/// One spatial partition of the network: a contiguous router range, the NIs
+/// attached to it, and the packets its nodes source.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// This shard's index (the high bits of every slot it owns).
+    pub index: usize,
+    /// First global router id owned by this shard.
+    pub router_lo: usize,
+    /// First global node id owned by this shard.
+    pub node_lo: usize,
+    /// Private copy of the (tiny, immutable) mesh geometry, so phase A
+    /// shares nothing across threads.
+    pub mesh: Mesh,
+    pub routers: Vec<Router>,
+    pub nis: Vec<NiState>,
+    /// Local routers that may hold buffered flits; idle routers are skipped.
+    pub active: Vec<bool>,
+    /// This shard's slice of the event ring: arrivals targeting its routers
+    /// and ejection paths.
+    pub events: Vec<Vec<Arrival>>,
+    /// Slab store for packets sourced by this shard's nodes; flits carry
+    /// `encode_slot(index, slab_index)`.
+    pub packets: Vec<Option<PacketState>>,
+    pub free_slots: Vec<u32>,
+    /// Packets waiting in this shard's NI queues (fast idle check for B2).
+    pub queued: usize,
+    /// Phase A output: granted traversals in local router-ascending order.
+    pub outgoing: Vec<crate::router::Traversal>,
+    /// Phase A output: ejection arrivals deferred to the serial cycle edge,
+    /// in ring order (which is traversal push order, i.e. router-ascending).
+    pub ejects: Vec<(usize, Flit)>,
+    /// Phase A output: deferred head-flit `RouterArrival` traces, resolved
+    /// serially because the packet may live in another shard's slab.
+    pub arrival_traces: Vec<(u32, usize)>,
+    /// Phase B2 output: packets whose head flit injected this cycle.
+    pub injected_traces: Vec<PacketId>,
+    /// Phase B2 output: injection statistics.
+    pub inject_tally: InjectTally,
+    /// Phase A output: injected port stalls this cycle.
+    pub stall_hits: u64,
+    /// Whether any arrival or injection happened this cycle (watchdog).
+    pub progressed: bool,
+}
+
+impl Default for Shard {
+    /// A placeholder used only while a shard is checked out to a worker
+    /// (`std::mem::take`); never stepped.
+    fn default() -> Self {
+        Shard {
+            index: 0,
+            router_lo: 0,
+            node_lo: 0,
+            mesh: Mesh::new(&NocConfig::cmesh(1, 1, 1)),
+            routers: Vec::new(),
+            nis: Vec::new(),
+            active: Vec::new(),
+            events: Vec::new(),
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            queued: 0,
+            outgoing: Vec::new(),
+            ejects: Vec::new(),
+            arrival_traces: Vec::new(),
+            injected_traces: Vec::new(),
+            inject_tally: InjectTally::default(),
+            stall_hits: 0,
+            progressed: false,
+        }
+    }
+}
+
+/// Stateless per-site port-stall draw, keyed on the plan seed and the
+/// arrival's unique `(cycle, router, port)` site — at most one flit arrives
+/// per input port per cycle, so each site is drawn exactly once, in any
+/// order, on any shard count.
+pub(crate) fn port_stall(plan: &FaultPlan, now: u64, router: usize, port: usize) -> bool {
+    if plan.port_stall_ppm == 0 {
+        return false;
+    }
+    let site = mix64(plan.seed ^ now ^ ((router as u64) << 40) ^ ((port as u64) << 56));
+    Pcg32::seed_from_u64(site).below(PPM) < plan.port_stall_ppm
+}
+
+/// SplitMix64 finalizer: decorrelates nearby `(cycle, router, port)` sites.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splits `num_routers` into `shards` contiguous ascending ranges and
+/// builds each shard's routers, NIs and ring. Shard `i` owns routers
+/// `[i*R/n, (i+1)*R/n)`.
+pub(crate) fn build_shards(config: &NocConfig, shards: usize) -> Vec<Shard> {
+    let mesh = Mesh::new(config);
+    let num_routers = mesh.num_routers();
+    let n = shards.clamp(1, num_routers.min(MAX_SHARDS));
+    (0..n)
+        .map(|i| {
+            let lo = i * num_routers / n;
+            let hi = (i + 1) * num_routers / n;
+            Shard::build(config, &mesh, i, lo, hi)
+        })
+        .collect()
+}
+
+impl Shard {
+    /// Builds the shard owning routers `[router_lo, router_hi)` with mesh
+    /// wiring identical to the single-shard kernel (links reference global
+    /// router/node ids; cross-shard hops are resolved at the cycle edge).
+    fn build(
+        config: &NocConfig,
+        mesh: &Mesh,
+        index: usize,
+        router_lo: usize,
+        router_hi: usize,
+    ) -> Shard {
+        let ports = mesh.ports_per_router();
+        let mut routers: Vec<Router> = (router_lo..router_hi)
+            .map(|id| Router::new(id, ports, config.vcs, config.vc_buffer))
+            .collect();
+        for (lr, r) in (router_lo..router_hi).enumerate() {
+            for dir in Direction::ALL {
+                if let Some(n) = mesh.neighbor(r, dir) {
+                    // The link r→n lands on n's opposite port, and r's own
+                    // `dir` input port is fed by n's opposite output port.
+                    routers[lr].wire_output(
+                        dir as usize,
+                        LinkDest::Router {
+                            router: n,
+                            port: dir.opposite() as usize,
+                        },
+                    );
+                    routers[lr].wire_input(
+                        dir as usize,
+                        Upstream::Router {
+                            router: n,
+                            port: dir.opposite() as usize,
+                        },
+                    );
+                }
+            }
+            for slot in 0..mesh.concentration() {
+                let port = 4 + slot;
+                let node = mesh.node_at(r, port);
+                routers[lr].wire_output(port, LinkDest::Eject { node: node.index() });
+                routers[lr].wire_input(port, Upstream::Local { node: node.index() });
+            }
+        }
+        let node_lo = router_lo * mesh.concentration();
+        let node_hi = router_hi * mesh.concentration();
+        let num_routers = routers.len();
+        Shard {
+            index,
+            router_lo,
+            node_lo,
+            mesh: mesh.clone(),
+            routers,
+            nis: (node_lo..node_hi)
+                .map(|_| NiState::new(config.vcs, config.vc_buffer))
+                .collect(),
+            active: vec![false; num_routers],
+            events: (0..EVENT_HORIZON).map(|_| Vec::new()).collect(),
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            queued: 0,
+            outgoing: Vec::new(),
+            ejects: Vec::new(),
+            arrival_traces: Vec::new(),
+            injected_traces: Vec::new(),
+            inject_tally: InjectTally::default(),
+            stall_hits: 0,
+            progressed: false,
+        }
+    }
+
+    fn ring_index(now: u64) -> usize {
+        (now % EVENT_HORIZON as u64) as usize
+    }
+
+    /// Whether running `phase` on this shard this cycle could do anything.
+    /// Skipping a workless shard is exact: its phase would produce no
+    /// outputs and leave every field as the cycle edge reset it.
+    pub fn has_work(&self, now: u64, phase: Phase) -> bool {
+        match phase {
+            Phase::A => {
+                !self.events[Self::ring_index(now)].is_empty() || self.active.iter().any(|&a| a)
+            }
+            Phase::B2 => self.queued > 0,
+        }
+    }
+
+    /// Runs one phase.
+    pub fn run(&mut self, ctx: &StepCtx, phase: Phase) {
+        match phase {
+            Phase::A => self.phase_a(ctx),
+            Phase::B2 => self.phase_b2(ctx),
+        }
+    }
+
+    /// Phase A: drain this cycle's ring slot into local input buffers
+    /// (deferring ejections and cross-slab trace lookups), then run VC +
+    /// switch allocation over the shard's active routers. Reads only
+    /// last-cycle-edge state; writes only shard-local state.
+    fn phase_a(&mut self, ctx: &StepCtx) {
+        let ring = Self::ring_index(ctx.now);
+        // The due slot is swapped out and restored so its capacity is
+        // reused; safe because schedules only ever target future slots.
+        let mut due = std::mem::take(&mut self.events[ring]);
+        for arrival in due.drain(..) {
+            self.progressed = true;
+            match arrival.target {
+                LinkDest::Router { router, port } => {
+                    let mut flit = arrival.flit;
+                    flit.ready_at = ctx.now + 1;
+                    if port_stall(&ctx.faults, ctx.now, router, port) {
+                        flit.ready_at += ctx.faults.stall_cycles as u64;
+                        self.stall_hits += 1;
+                    }
+                    if ctx.tracing && flit.is_head() {
+                        self.arrival_traces.push((flit.slot, router));
+                    }
+                    let lr = router - self.router_lo;
+                    self.routers[lr].accept_flit(port, arrival.vc, flit);
+                    self.active[lr] = true;
+                }
+                LinkDest::Eject { node } => self.ejects.push((node, arrival.flit)),
+            }
+        }
+        self.events[ring] = due;
+        for lr in 0..self.routers.len() {
+            if !self.active[lr] {
+                continue;
+            }
+            let mesh = &self.mesh;
+            let rid = self.routers[lr].id();
+            self.routers[lr].allocate(
+                ctx.now,
+                |flit| mesh.route_xy(rid, flit.dest),
+                &mut self.outgoing,
+            );
+            if self.routers[lr].is_idle() {
+                self.active[lr] = false;
+            }
+        }
+    }
+
+    /// Phase B2: at most one flit injection per local NI, into this shard's
+    /// own ring (a node's router lives in the node's shard by construction).
+    fn phase_b2(&mut self, ctx: &StepCtx) {
+        if self.queued == 0 {
+            return;
+        }
+        for node in 0..self.nis.len() {
+            if self.inject_from(node, ctx) {
+                self.progressed = true;
+            }
+        }
+    }
+
+    /// Attempts one flit injection from local node index `local_node`;
+    /// returns whether a flit entered the network.
+    fn inject_from(&mut self, local_node: usize, ctx: &StepCtx) -> bool {
+        let now = ctx.now;
+        let ni = &mut self.nis[local_node];
+        let Some(&slot) = ni.queue.front() else {
+            return false;
+        };
+        // The NI queue only holds live local slab slots; drop a stale one
+        // rather than crash if that invariant ever breaks.
+        let Some(p) = self.packets[local_of_slot(slot)].as_mut() else {
+            debug_assert!(false, "queued slot {slot} holds no packet");
+            ni.queue.pop_front();
+            self.queued -= 1;
+            return false;
+        };
+        // Unhidden compression: pay the remaining latency now that the
+        // packet has reached the queue head.
+        if ni.next_seq == 0 && p.head_gate > 0 {
+            p.ready_at = p.ready_at.max(now + p.head_gate);
+            p.head_gate = 0;
+            return false;
+        }
+        if p.ready_at > now {
+            return false;
+        }
+        // Head flit needs a VC with a credit; body flits continue on the
+        // packet's VC and just need a credit.
+        let vc = match ni.cur_vc {
+            Some(v) => {
+                if ni.vc_credits[v] == 0 {
+                    return false;
+                }
+                v
+            }
+            None => match ni.pick_vc() {
+                Some(v) => v,
+                None => return false,
+            },
+        };
+        let seq = ni.next_seq;
+        if seq == 0 {
+            p.inject_start = Some(now);
+        }
+        let is_tail = seq + 1 == p.num_flits;
+        let flit = Flit {
+            slot,
+            seq,
+            is_tail,
+            dest: p.dest,
+            ready_at: 0, // set at arrival
+        };
+        let pid = p.id;
+        let measured = p.measured;
+        let kind = p.kind;
+        let num_flits = p.num_flits;
+        let baseline_flits = p.baseline_flits;
+        ni.vc_credits[vc] -= 1;
+        ni.cur_vc = Some(vc);
+        ni.next_seq += 1;
+        if is_tail {
+            ni.queue.pop_front();
+            ni.cur_vc = None;
+            ni.next_seq = 0;
+            self.queued -= 1;
+        }
+        if ctx.tracing && flit.is_head() {
+            self.injected_traces.push(pid);
+        }
+        let node = NodeId::from(self.node_lo + local_node);
+        let router = self.mesh.router_of(node);
+        let port = self.mesh.local_port_of(node);
+        self.schedule(now + 1, LinkDest::Router { router, port }, vc, flit, now);
+        // Injection statistics. Per-packet counters are committed at tail
+        // injection so a drain cutoff can never split a packet across the
+        // two sides of the Figure 11 normalization.
+        if measured {
+            self.inject_tally.flits += 1;
+            if is_tail {
+                match kind {
+                    PacketKind::Data => {
+                        self.inject_tally.data_flits += num_flits as u64;
+                        self.inject_tally.baseline_flits += baseline_flits as u64;
+                    }
+                    PacketKind::Control => self.inject_tally.control_flits += 1,
+                }
+            }
+        }
+        true
+    }
+
+    /// Schedules an arrival into this shard's own ring.
+    pub fn schedule(&mut self, at: u64, target: LinkDest, vc: usize, flit: Flit, now: u64) {
+        debug_assert!(at > now && at < now + EVENT_HORIZON as u64);
+        self.events[(at % EVENT_HORIZON as u64) as usize].push(Arrival { target, vc, flit });
+    }
+}

@@ -18,6 +18,13 @@
 //! indexed by the dense slot carried on every flit, the event ring and the
 //! allocation scratch vectors are reused across cycles, and only routers
 //! with buffered flits are visited (see DESIGN.md).
+//!
+//! The routers, NIs, event ring and packet slab are spatially partitioned
+//! into [`Shard`]s ([`NocSim::set_shards`]); phase A (allocation) and phase
+//! B2 (injection) of each cycle run shard-parallel on a persistent
+//! [`WorkerSet`], with a serial cycle edge in between exchanging boundary
+//! flits and credits. The phase ordering and the serial edge make results
+//! bit-identical for any shard count — see `shard.rs` and DESIGN.md §10.
 
 use std::collections::BTreeMap;
 
@@ -26,48 +33,38 @@ use anoc_core::codec::Notification;
 use anoc_core::data::{CacheBlock, NodeId};
 use anoc_core::rng::Pcg32;
 use anoc_core::threshold::ErrorThreshold;
+use anoc_exec::WorkerSet;
 
 use crate::config::NocConfig;
 use crate::faults::{
     BoundViolation, DeadlockDump, FaultPlan, RouterDiag, SimError, StuckPacket, PPM,
 };
-use crate::ni::{NiState, NodeCodec};
+use crate::ni::NodeCodec;
 use crate::packet::{Delivered, Flit, PacketId, PacketKind, PacketState, TraceEvent};
-use crate::router::{LinkDest, Router, RouterActivity, Traversal, Upstream};
+use crate::router::{LinkDest, RouterActivity, Upstream};
+use crate::shard::{
+    build_shards, encode_slot, local_of_slot, shard_of_slot, Phase, Shard, StepCtx, MAX_SHARDS,
+};
 use crate::stats::{ActivityReport, NetStats};
-use crate::topology::{Direction, Mesh};
-
-/// A flit in flight on a link, due at a scheduled cycle.
-#[derive(Debug, Clone, Copy)]
-struct Arrival {
-    target: LinkDest,
-    vc: usize,
-    flit: Flit,
-}
-
-/// Ring-buffer horizon for scheduled arrivals (link events land at +1/+2).
-const EVENT_HORIZON: usize = 4;
+use crate::topology::Mesh;
 
 /// The cycle-accurate NoC simulator.
 pub struct NocSim {
     config: NocConfig,
     mesh: Mesh,
-    routers: Vec<Router>,
-    nis: Vec<NiState>,
+    /// Spatial partitions of routers, NIs, ring and packet slab. Always at
+    /// least one; with exactly one, the kernel runs fully serially.
+    shards: Vec<Shard>,
+    /// Owning shard index of every router (and, through a router's attached
+    /// nodes, of every node).
+    router_shard: Vec<u32>,
+    /// Persistent pinned workers for shards `1..n` (shard 0 runs on the
+    /// stepping thread); present only with more than one shard.
+    workers: Option<WorkerSet<Shard>>,
     codecs: Vec<NodeCodec>,
-    /// Slab packet store: flits carry their packet's slot, so the per-flit
-    /// hot paths are plain indexing. Freed slots are recycled via
-    /// `free_slots`; external [`PacketId`]s stay monotonic regardless.
-    packets: Vec<Option<PacketState>>,
-    free_slots: Vec<u32>,
     live_packets: usize,
     next_pid: PacketId,
     cycle: u64,
-    events: Vec<Vec<Arrival>>,
-    /// Persistent scratch for the per-cycle allocation grants.
-    outgoing: Vec<Traversal>,
-    /// Routers that may hold buffered flits; idle routers are skipped.
-    active: Vec<bool>,
     delivered: Vec<Delivered>,
     stats: NetStats,
     measuring: bool,
@@ -103,6 +100,17 @@ impl std::fmt::Debug for NocSim {
     }
 }
 
+/// Inverse of the shard partition: the owning shard index of every router.
+fn router_shard_map(shards: &[Shard], num_routers: usize) -> Vec<u32> {
+    let mut map = vec![0u32; num_routers];
+    for s in shards {
+        for owner in &mut map[s.router_lo..s.router_lo + s.routers.len()] {
+            *owner = s.index as u32;
+        }
+    }
+    map
+}
+
 impl NocSim {
     /// Builds a network. `codecs` must supply one encoder/decoder pair per
     /// node.
@@ -120,56 +128,18 @@ impl NocSim {
             mesh.num_nodes(),
             "one codec pair per node required"
         );
-        let ports = mesh.ports_per_router();
-        let mut routers: Vec<Router> = (0..mesh.num_routers())
-            .map(|id| Router::new(id, ports, config.vcs, config.vc_buffer))
-            .collect();
-        // Wire mesh links and local ports.
-        for r in 0..mesh.num_routers() {
-            for dir in Direction::ALL {
-                if let Some(n) = mesh.neighbor(r, dir) {
-                    let in_port = dir.opposite() as usize;
-                    routers[r].wire_output(
-                        dir as usize,
-                        LinkDest::Router {
-                            router: n,
-                            port: in_port,
-                        },
-                    );
-                    routers[n].wire_input(
-                        in_port,
-                        Upstream::Router {
-                            router: r,
-                            port: dir as usize,
-                        },
-                    );
-                }
-            }
-            for slot in 0..mesh.concentration() {
-                let port = 4 + slot;
-                let node = mesh.node_at(r, port);
-                routers[r].wire_output(port, LinkDest::Eject { node: node.index() });
-                routers[r].wire_input(port, Upstream::Local { node: node.index() });
-            }
-        }
-        let nis = (0..mesh.num_nodes())
-            .map(|_| NiState::new(config.vcs, config.vc_buffer))
-            .collect();
-        let num_routers = routers.len();
+        let shards = build_shards(&config, 1);
+        let router_shard = router_shard_map(&shards, mesh.num_routers());
         NocSim {
             config,
             mesh,
-            routers,
-            nis,
+            shards,
+            router_shard,
+            workers: None,
             codecs,
-            packets: Vec::new(),
-            free_slots: Vec::new(),
             live_packets: 0,
             next_pid: 0,
             cycle: 0,
-            events: (0..EVENT_HORIZON).map(|_| Vec::new()).collect(),
-            outgoing: Vec::new(),
-            active: vec![false; num_routers],
             delivered: Vec::new(),
             stats: NetStats::default(),
             measuring: true,
@@ -182,6 +152,35 @@ impl NocSim {
             last_progress: 0,
             fatal: None,
         }
+    }
+
+    /// Repartitions the network into `shards` spatial shards, each stepped
+    /// by its own worker thread (shard 0 runs on the calling thread). The
+    /// count is clamped to the router count; `1` restores fully serial
+    /// stepping. Results are bit-identical for any shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a simulation that has already stepped or holds
+    /// packets — repartitioning moves slab and ring state it does not
+    /// migrate.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(
+            self.cycle == 0 && self.live_packets == 0,
+            "set_shards requires a fresh simulation (cycle 0, no packets in flight)"
+        );
+        let n = shards.clamp(1, self.mesh.num_routers().min(MAX_SHARDS));
+        if n == self.shards.len() {
+            return;
+        }
+        self.shards = build_shards(&self.config, n);
+        self.router_shard = router_shard_map(&self.shards, self.mesh.num_routers());
+        self.workers = (n > 1).then(|| WorkerSet::new(n - 1, "anoc-shard"));
+    }
+
+    /// Number of spatial shards the kernel is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Installs a fault-injection plan and seeds the fault RNG from it. An
@@ -273,12 +272,18 @@ impl NocSim {
     /// Measured packets still undelivered (reported as `unfinished` so a
     /// saturated run never silently drops them from the statistics).
     pub fn record_unfinished(&mut self) {
-        self.stats.unfinished = self.packets.iter().flatten().filter(|p| p.measured).count() as u64;
+        self.stats.unfinished = self
+            .shards
+            .iter()
+            .flat_map(|s| s.packets.iter().flatten())
+            .filter(|p| p.measured)
+            .count() as u64;
     }
 
     /// Number of packets waiting in `node`'s injection queue.
     pub fn injection_backlog(&self, node: NodeId) -> usize {
-        self.nis[node.index()].queue.len()
+        let shard = &self.shards[self.node_shard(node.index())];
+        shard.nis[node.index() - shard.node_lo].queue.len()
     }
 
     /// Starts (or restarts) the measurement window: statistics reset, in-
@@ -287,9 +292,16 @@ impl NocSim {
     pub fn begin_measurement(&mut self) {
         self.stats = NetStats::default();
         self.measuring = true;
-        for p in self.packets.iter_mut().flatten() {
-            p.measured = false;
+        for shard in &mut self.shards {
+            for p in shard.packets.iter_mut().flatten() {
+                p.measured = false;
+            }
         }
+    }
+
+    /// The shard owning `node`'s router (nodes follow their router).
+    fn node_shard(&self, node: usize) -> usize {
+        self.router_shard[node / self.mesh.concentration()] as usize
     }
 
     /// Stops measuring newly created packets (drain phase).
@@ -389,101 +401,61 @@ impl NocSim {
         p.id = id;
         let src = p.src;
         let created = p.created;
-        let slot = match self.free_slots.pop() {
+        // A packet lives in its source node's shard: only that shard's NI
+        // queue references the slot, so injection stays shard-local.
+        let si = self.node_shard(src.index());
+        let shard = &mut self.shards[si];
+        let slot = match shard.free_slots.pop() {
             Some(s) => {
-                self.packets[s as usize] = Some(p);
+                shard.packets[local_of_slot(s)] = Some(p);
                 s
             }
             None => {
-                self.packets.push(Some(p));
-                (self.packets.len() - 1) as u32
+                shard.packets.push(Some(p));
+                encode_slot(si, shard.packets.len() - 1)
             }
         };
         self.live_packets += 1;
-        self.nis[src.index()].queue.push_back(slot);
+        shard.nis[src.index() - shard.node_lo].queue.push_back(slot);
+        shard.queued += 1;
         self.record_trace(id, created, TraceEvent::Created);
         id
     }
 
     /// Advances the simulation by one cycle.
+    ///
+    /// Phase A (shard-parallel) drains each shard's ring slot and runs
+    /// allocation; the serial cycle edge applies ejections, link traversals
+    /// and credits in shard-concatenation order (globally router-ascending,
+    /// identical to the single-shard kernel); phase B2 (shard-parallel)
+    /// injects from each shard's NIs; the epilogue merges order-independent
+    /// tallies and runs the watchdog.
     pub fn step(&mut self) {
         let now = self.cycle;
-        let mut progressed = false;
-        // Phase 1 — link arrivals (BW, or ejection). The due ring slot is
-        // swapped out and restored after draining so its capacity is
-        // reused; this is safe because `schedule` only ever targets future
-        // slots (`now+1..now+EVENT_HORIZON`), never the current one.
-        let ring = (now % EVENT_HORIZON as u64) as usize;
-        let mut due = std::mem::take(&mut self.events[ring]);
-        for arrival in due.drain(..) {
-            progressed = true;
-            match arrival.target {
-                LinkDest::Router { router, port } => {
-                    let mut flit = arrival.flit;
-                    flit.ready_at = now + 1;
-                    if self.faults.port_stall_ppm > 0
-                        && self.fault_rng.below(PPM) < self.faults.port_stall_ppm
-                    {
-                        flit.ready_at += self.faults.stall_cycles as u64;
-                        self.stats.faults.port_stalls += 1;
-                    }
-                    if self.tracing && flit.is_head() {
-                        if let Some(p) = self.packets[flit.slot as usize].as_ref() {
-                            let id = p.id;
-                            self.record_trace(id, now, TraceEvent::RouterArrival { router });
-                        }
-                    }
-                    self.routers[router].accept_flit(port, arrival.vc, flit);
-                    self.active[router] = true;
-                }
-                LinkDest::Eject { node } => self.eject_flit(node, arrival.flit, now),
-            }
-        }
-        self.events[ring] = due;
-        // Phase 2 — router allocation, idle routers skipped. Grants land in
-        // a persistent scratch vector; credits are returned only after
-        // every router has allocated, so allocation order cannot observe
-        // same-cycle credits.
-        let mut outgoing = std::mem::take(&mut self.outgoing);
-        for r in 0..self.routers.len() {
-            if !self.active[r] {
-                continue;
-            }
-            let mesh = &self.mesh;
-            let rid = self.routers[r].id();
-            self.routers[r].allocate(now, |flit| mesh.route_xy(rid, flit.dest), &mut outgoing);
-            if self.routers[r].is_idle() {
-                self.active[r] = false;
-            }
-        }
-        for t in &outgoing {
-            progressed = true;
-            if self.faults.link_bit_flip_ppm > 0
-                && self.fault_rng.below(PPM) < self.faults.link_bit_flip_ppm
-            {
-                self.flip_payload_bit(t.flit.slot);
-            }
-            self.schedule(now + 2, t.dest, t.out_vc, t.flit);
-        }
-        for t in outgoing.drain(..) {
-            if let Some((upstream, vc)) = t.credit_to {
-                let copies = self.credit_copies();
-                for _ in 0..copies {
-                    match upstream {
-                        Upstream::Router { router, port } => {
-                            self.routers[router].return_credit(port, vc);
-                        }
-                        Upstream::Local { node } => {
-                            self.nis[node].vc_credits[vc] += 1;
-                        }
-                    }
+        let ctx = StepCtx {
+            now,
+            faults: self.faults,
+            tracing: self.tracing,
+        };
+        self.run_phase(&ctx, Phase::A);
+        let mut progressed = self.cycle_edge(now);
+        self.run_phase(&ctx, Phase::B2);
+        // Merge phase B2 outputs (all integer sums or per-packet events, so
+        // shard order cannot matter; iterated ascending regardless).
+        for i in 0..self.shards.len() {
+            progressed |= self.shards[i].progressed;
+            self.shards[i].progressed = false;
+            let t = std::mem::take(&mut self.shards[i].inject_tally);
+            self.stats.flits_injected += t.flits;
+            self.stats.data_flits_injected += t.data_flits;
+            self.stats.control_flits_injected += t.control_flits;
+            self.stats.baseline_data_flits += t.baseline_flits;
+            if self.tracing {
+                let injected = std::mem::take(&mut self.shards[i].injected_traces);
+                for pid in injected {
+                    self.record_trace(pid, now, TraceEvent::Injected);
                 }
             }
-        }
-        self.outgoing = outgoing;
-        // Phase 3 — NI injection.
-        for node in 0..self.nis.len() {
-            progressed |= self.inject_from(node, now);
         }
         self.cycle = now + 1;
         if self.measuring {
@@ -500,11 +472,130 @@ impl NocSim {
         }
     }
 
+    /// Runs one phase on every shard with work: serially with one shard,
+    /// otherwise shards `1..n` on the pinned workers with shard 0 on the
+    /// stepping thread. Shards are handed to workers by value and received
+    /// back at the barrier, so no simulation state is ever shared.
+    fn run_phase(&mut self, ctx: &StepCtx, phase: Phase) {
+        let Some(workers) = &self.workers else {
+            for shard in &mut self.shards {
+                if shard.has_work(ctx.now, phase) {
+                    shard.run(ctx, phase);
+                }
+            }
+            return;
+        };
+        let mut outstanding = 0usize;
+        for i in 1..self.shards.len() {
+            if !self.shards[i].has_work(ctx.now, phase) {
+                continue;
+            }
+            let shard = std::mem::take(&mut self.shards[i]);
+            let ctx = *ctx;
+            let sent = workers.submit(i - 1, i, shard, move |s| s.run(&ctx, phase));
+            assert!(sent, "shard worker {i} terminated");
+            outstanding += 1;
+        }
+        if self.shards[0].has_work(ctx.now, phase) {
+            self.shards[0].run(ctx, phase);
+        }
+        for _ in 0..outstanding {
+            let received = workers.recv();
+            // A dead worker set cannot return checked-out shard state.
+            assert!(received.is_some(), "shard worker set terminated mid-cycle");
+            if let Some((tag, shard)) = received {
+                self.shards[tag] = shard;
+            }
+        }
+    }
+
+    /// The serial cycle edge between phases A and B2: applies every shard's
+    /// deferred phase-A outputs in shard index order. Returns whether
+    /// anything progressed.
+    fn cycle_edge(&mut self, now: u64) -> bool {
+        let mut progressed = false;
+        let n = self.shards.len();
+        // Phase A bookkeeping: stall tallies, progress flags, and deferred
+        // head-arrival traces (resolved here because the packet may live in
+        // another shard's slab; done before ejections can free any slot).
+        for i in 0..n {
+            self.stats.faults.port_stalls += self.shards[i].stall_hits;
+            self.shards[i].stall_hits = 0;
+            progressed |= self.shards[i].progressed;
+            self.shards[i].progressed = false;
+            if self.tracing {
+                let traces = std::mem::take(&mut self.shards[i].arrival_traces);
+                for &(slot, router) in &traces {
+                    let owner = shard_of_slot(slot);
+                    if let Some(p) = self.shards[owner].packets[local_of_slot(slot)].as_ref() {
+                        let id = p.id;
+                        self.record_trace(id, now, TraceEvent::RouterArrival { router });
+                    }
+                }
+            }
+        }
+        // Ejections. Eject arrivals land in the granting (local) router's
+        // shard and each shard's list is in ring order, so concatenation
+        // reproduces the single-shard kernel's global processing order.
+        for i in 0..n {
+            let mut ejects = std::mem::take(&mut self.shards[i].ejects);
+            for &(node, flit) in &ejects {
+                self.eject_flit(node, flit, now);
+            }
+            ejects.clear();
+            self.shards[i].ejects = ejects;
+        }
+        // Link traversals, two global passes exactly like the single-shard
+        // kernel: pass 1 draws link-fault flips and schedules every flit
+        // into its target shard's ring, pass 2 returns credits (drawing
+        // drop/duplicate faults) — so allocation never observes same-cycle
+        // credits, and the sequential fault-RNG draw order is the global
+        // router-ascending traversal order on any shard count.
+        for i in 0..n {
+            let outgoing = std::mem::take(&mut self.shards[i].outgoing);
+            for t in &outgoing {
+                progressed = true;
+                if self.faults.link_bit_flip_ppm > 0
+                    && self.fault_rng.below(PPM) < self.faults.link_bit_flip_ppm
+                {
+                    self.flip_payload_bit(t.flit.slot);
+                }
+                self.schedule(now + 2, t.dest, t.out_vc, t.flit);
+            }
+            self.shards[i].outgoing = outgoing;
+        }
+        for i in 0..n {
+            let mut outgoing = std::mem::take(&mut self.shards[i].outgoing);
+            for t in outgoing.drain(..) {
+                if let Some((upstream, vc)) = t.credit_to {
+                    let copies = self.credit_copies();
+                    for _ in 0..copies {
+                        match upstream {
+                            Upstream::Router { router, port } => {
+                                let s = self.router_shard[router] as usize;
+                                let lr = router - self.shards[s].router_lo;
+                                self.shards[s].routers[lr].return_credit(port, vc);
+                            }
+                            Upstream::Local { node } => {
+                                let s = self.node_shard(node);
+                                let ln = node - self.shards[s].node_lo;
+                                self.shards[s].nis[ln].vc_credits[vc] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            self.shards[i].outgoing = outgoing;
+        }
+        progressed
+    }
+
     /// Records one link-fault bit flip against the packet in `slot`: a
     /// random (word, bit) of its payload, applied to the decoded block at
     /// delivery so the golden copy stays intact for the bound checker.
     fn flip_payload_bit(&mut self, slot: u32) {
-        let Some(p) = self.packets[slot as usize].as_mut() else {
+        let owner = shard_of_slot(slot);
+        let Some(p) = self.shards[owner].packets[local_of_slot(slot)].as_mut() else {
             return;
         };
         let Some(block) = &p.precise else {
@@ -542,9 +633,9 @@ impl NocSim {
     fn deadlock_dump(&self, now: u64) -> DeadlockDump {
         const MAX_ITEMS: usize = 8;
         let mut stuck: Vec<StuckPacket> = self
-            .packets
+            .shards
             .iter()
-            .flatten()
+            .flat_map(|s| s.packets.iter().flatten())
             .map(|p| StuckPacket {
                 id: p.id,
                 src: p.src,
@@ -558,9 +649,12 @@ impl NocSim {
             .collect();
         stuck.sort_by_key(|s| (s.created, s.id));
         stuck.truncate(MAX_ITEMS);
+        // Shards own contiguous ascending router/node ranges, so shard
+        // concatenation preserves the global ascending diagnostic order.
         let routers = self
-            .routers
+            .shards
             .iter()
+            .flat_map(|s| s.routers.iter())
             .filter(|r| r.occupancy() > 0)
             .take(MAX_ITEMS)
             .map(|r| RouterDiag {
@@ -570,9 +664,14 @@ impl NocSim {
             })
             .collect();
         let ni_backlogs = self
-            .nis
+            .shards
             .iter()
-            .enumerate()
+            .flat_map(|s| {
+                s.nis
+                    .iter()
+                    .enumerate()
+                    .map(move |(ln, ni)| (s.node_lo + ln, ni))
+            })
             .filter(|(_, ni)| !ni.queue.is_empty())
             .take(MAX_ITEMS)
             .map(|(node, ni)| (node, ni.queue.len()))
@@ -651,7 +750,7 @@ impl NocSim {
     /// Aggregate hardware activity (routers + codecs) for the power model.
     pub fn activity_report(&self) -> ActivityReport {
         let mut routers = RouterActivity::default();
-        for r in &self.routers {
+        for r in self.shards.iter().flat_map(|s| s.routers.iter()) {
             routers.merge(&r.activity());
         }
         let mut encoders = anoc_core::codec::CodecActivity::default();
@@ -673,108 +772,23 @@ impl NocSim {
         &self.codecs[node.index()]
     }
 
+    /// Schedules an arrival into the ring of the shard owning the target
+    /// router (ejection paths belong to the node's local router).
     fn schedule(&mut self, at: u64, target: LinkDest, vc: usize, flit: Flit) {
-        debug_assert!(at > self.cycle && at < self.cycle + EVENT_HORIZON as u64);
-        self.events[(at % EVENT_HORIZON as u64) as usize].push(Arrival { target, vc, flit });
-    }
-
-    /// Attempts one flit injection from `node`; returns whether a flit
-    /// entered the network (forward progress for the watchdog).
-    fn inject_from(&mut self, node: usize, now: u64) -> bool {
-        // One NI borrow and one slab lookup for the whole attempt — this
-        // runs for every node every cycle, so repeated indexed re-lookups
-        // showed up in the steady-state profile.
-        let ni = &mut self.nis[node];
-        let Some(&slot) = ni.queue.front() else {
-            return false;
+        let s = match target {
+            LinkDest::Router { router, .. } => self.router_shard[router] as usize,
+            LinkDest::Eject { node } => self.node_shard(node),
         };
-        let slot = slot as usize;
-        // The NI queue only holds live slab slots; drop a stale one rather
-        // than crash if that invariant ever breaks.
-        let Some(p) = self.packets[slot].as_mut() else {
-            debug_assert!(false, "queued slot {slot} holds no packet");
-            ni.queue.pop_front();
-            return false;
-        };
-        // Unhidden compression: pay the remaining latency now that the
-        // packet has reached the queue head.
-        if ni.next_seq == 0 && p.head_gate > 0 {
-            p.ready_at = p.ready_at.max(now + p.head_gate);
-            p.head_gate = 0;
-            return false;
-        }
-        if p.ready_at > now {
-            return false;
-        }
-        // Head flit needs a VC with a credit; body flits continue on the
-        // packet's VC and just need a credit.
-        let vc = match ni.cur_vc {
-            Some(v) => {
-                if ni.vc_credits[v] == 0 {
-                    return false;
-                }
-                v
-            }
-            None => match ni.pick_vc() {
-                Some(v) => v,
-                None => return false,
-            },
-        };
-        let seq = ni.next_seq;
-        if seq == 0 {
-            p.inject_start = Some(now);
-        }
-        let is_tail = seq + 1 == p.num_flits;
-        let flit = Flit {
-            slot: slot as u32,
-            seq,
-            is_tail,
-            dest: p.dest,
-            ready_at: 0, // set at arrival
-        };
-        let pid = p.id;
-        let measured = p.measured;
-        let kind = p.kind;
-        let num_flits = p.num_flits;
-        let baseline_flits = p.baseline_flits;
-        ni.vc_credits[vc] -= 1;
-        ni.cur_vc = Some(vc);
-        ni.next_seq += 1;
-        if is_tail {
-            ni.queue.pop_front();
-            ni.cur_vc = None;
-            ni.next_seq = 0;
-        }
-        if flit.is_head() {
-            self.record_trace(pid, now, TraceEvent::Injected);
-        }
-        let router = self.mesh.router_of(NodeId::from(node));
-        let port = self.mesh.local_port_of(NodeId::from(node));
-        self.schedule(now + 1, LinkDest::Router { router, port }, vc, flit);
-        // Injection statistics. Per-packet counters (data flits and their
-        // baseline equivalent) are committed at tail injection so a drain
-        // cutoff can never split a packet across the two sides of the
-        // Figure 11 normalization.
-        if measured {
-            self.stats.flits_injected += 1;
-            if is_tail {
-                match kind {
-                    PacketKind::Data => {
-                        self.stats.data_flits_injected += num_flits as u64;
-                        self.stats.baseline_data_flits += baseline_flits as u64;
-                    }
-                    PacketKind::Control => self.stats.control_flits_injected += 1,
-                }
-            }
-        }
-        true
+        let now = self.cycle;
+        self.shards[s].schedule(at, target, vc, flit, now);
     }
 
     fn eject_flit(&mut self, node: usize, flit: Flit, now: u64) {
-        let slot = flit.slot as usize;
+        let owner = shard_of_slot(flit.slot);
+        let slot = local_of_slot(flit.slot);
         // A slab slot is live until its tail ejects; ignore an orphan flit
         // rather than crash if that invariant ever breaks.
-        let Some(p) = self.packets[slot].as_mut() else {
+        let Some(p) = self.shards[owner].packets[slot].as_mut() else {
             debug_assert!(false, "ejected flit references dead slot {slot}");
             return;
         };
@@ -793,11 +807,11 @@ impl NocSim {
             p.ejected_flits, p.num_flits,
             "tail arrived before all body flits (per-VC FIFO violated)"
         );
-        let Some(p) = self.packets[slot].take() else {
+        let Some(p) = self.shards[owner].packets[slot].take() else {
             debug_assert!(false, "slot {slot} vanished between borrow and take");
             return;
         };
-        self.free_slots.push(flit.slot);
+        self.shards[owner].free_slots.push(flit.slot);
         self.live_packets -= 1;
         self.record_trace(p.id, now, TraceEvent::Ejected);
         self.complete_packet(p, node, now);
