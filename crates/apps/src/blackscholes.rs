@@ -61,6 +61,7 @@ impl ApproxKernel for Blackscholes {
     }
 
     fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64> {
+        // anoc-lint: rng-site: seeded from the workload's config seed with a fixed per-app stream
         let mut rng = Pcg32::new(self.seed, 0x626c6b);
         let n = self.options;
         let spot: Vec<f32> = (0..n).map(|_| 20.0 + rng.f32() * 80.0).collect();

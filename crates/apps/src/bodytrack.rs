@@ -46,6 +46,7 @@ impl Bodytrack {
     /// Renders the ground-truth frame sequence (row-major pixel intensities
     /// in `[0, 255]`) and true blob trajectories.
     pub fn render(&self) -> (Vec<Frame>, Vec<Positions>) {
+        // anoc-lint: rng-site: seeded from the workload's config seed with a fixed per-app stream
         let mut rng = Pcg32::new(self.seed, 0x626f6479);
         let s = self.size as f64;
         let mut pos: Vec<(f64, f64)> = (0..self.blobs)

@@ -228,8 +228,7 @@ impl CacheSim {
         // Victim: LRU way.
         let victim = (0..self.config.ways)
             .min_by_key(|w| self.caches[core][base + w].lru)
-            // anoc-lint: allow(C001): CacheConfig validates ways >= 1
-            .expect("ways >= 1");
+            .unwrap_or(0); // ways >= 1 (validated by CacheConfig); way 0 if not
         let line = &mut self.caches[core][base + victim];
         line.tag = line_addr;
         line.valid = true;

@@ -58,6 +58,7 @@ impl ApproxKernel for Canneal {
     }
 
     fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64> {
+        // anoc-lint: rng-site: seeded from the workload's config seed with a fixed per-app stream
         let mut rng = Pcg32::new(self.seed, 0x63616e6e);
         let grid = 256i32;
         let mut positions: Vec<i32> = (0..self.elements * 2)

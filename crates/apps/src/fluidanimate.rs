@@ -45,6 +45,7 @@ impl ApproxKernel for Fluidanimate {
     }
 
     fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64> {
+        // anoc-lint: rng-site: seeded from the workload's config seed with a fixed per-app stream
         let mut rng = Pcg32::new(self.seed, 0x666c7569);
         let n = self.particles;
         let box_size = 50.0f32;

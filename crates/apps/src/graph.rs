@@ -33,6 +33,7 @@ impl Graph {
     pub fn rmat(nodes: usize, edges: usize, seed: u64) -> Self {
         assert!(nodes.is_power_of_two(), "R-MAT needs a power-of-two size");
         let mut g = Graph::new(nodes);
+        // anoc-lint: rng-site: seeded from the caller-supplied graph seed, fixed R-MAT stream
         let mut rng = Pcg32::new(seed, 0x726d_6174);
         let bits = nodes.trailing_zeros();
         let mut inserted = 0usize;

@@ -63,6 +63,7 @@ impl ApproxKernel for Streamcluster {
     }
 
     fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64> {
+        // anoc-lint: rng-site: seeded from the workload's config seed with a fixed per-app stream
         let mut rng = Pcg32::new(self.seed, 0x73747265);
         let d = self.dims;
         // Points drawn around `k` ground-truth blobs plus noise.
@@ -90,11 +91,11 @@ impl ApproxKernel for Streamcluster {
                     .min_by(|&a, &b| {
                         squared_distance(pt, &centers[a])
                             .partial_cmp(&squared_distance(pt, &centers[b]))
-                            // anoc-lint: allow(C001): squared_distance of finite coords is never NaN
-                            .expect("finite distances")
+                            // Finite coords never produce NaN; Equal keeps the
+                            // lower index, matching min_by tie-breaking.
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     })
-                    // anoc-lint: allow(C001): constructor requires k >= 1
-                    .expect("k >= 1");
+                    .unwrap_or(0); // k >= 1 (constructor invariant); center 0 if not
             }
             for (c, center) in centers.iter_mut().enumerate() {
                 let members: Vec<usize> = (0..self.points).filter(|p| assign[*p] == c).collect();

@@ -46,6 +46,7 @@ impl ApproxKernel for Swaptions {
     }
 
     fn run(&self, transport: &mut dyn BlockTransport) -> Vec<f64> {
+        // anoc-lint: rng-site: seeded from the workload's config seed with a fixed per-app stream
         let mut rng = Pcg32::new(self.seed, 0x73776170);
         let mut prices = Vec::with_capacity(self.swaptions);
         for _ in 0..self.swaptions {

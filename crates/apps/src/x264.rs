@@ -94,6 +94,7 @@ pub fn idct8(coeffs: &[f64; 64]) -> [f64; 64] {
 impl X264 {
     /// Renders the synthetic source frame (smooth gradients + texture).
     pub fn source_frame(&self) -> Vec<i32> {
+        // anoc-lint: rng-site: seeded from the workload's config seed with a fixed per-app stream
         let mut rng = Pcg32::new(self.seed, 0x78323634);
         let s = self.size;
         (0..s * s)

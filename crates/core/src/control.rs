@@ -68,8 +68,10 @@ impl QualityController {
     /// The current threshold object (`exact` when driven to 0 — cannot
     /// happen with `min_percent >= 1`).
     pub fn threshold(&self) -> ErrorThreshold {
-        // anoc-lint: allow(C001): percent clamped into the valid 1..=100 range
-        ErrorThreshold::from_percent(self.percent.max(1)).expect("bounded by construction")
+        // Percent is clamped into 1..=100, so this never falls back; exact
+        // (no approximation) is the conservative default if it ever did.
+        ErrorThreshold::from_percent(self.percent.max(1))
+            .unwrap_or_else(|_| ErrorThreshold::exact())
     }
 
     /// The quality floor being enforced.

@@ -70,8 +70,9 @@ impl WindowBudget {
             return ErrorThreshold::exact();
         }
         let pct = (avail as u32).min(self.max_percent);
-        // anoc-lint: allow(C001): pct floored to >= 1 and clamped to max_percent
-        ErrorThreshold::from_percent(pct).expect("1..=100 by construction")
+        // pct is floored to >= 1 and clamped to max_percent; exact (no
+        // approximation) is the conservative default if that ever broke.
+        ErrorThreshold::from_percent(pct).unwrap_or_else(|_| ErrorThreshold::exact())
     }
 
     /// Records the relative error actually incurred by a word (`0.0` for an

@@ -98,6 +98,7 @@ impl ResultCache {
             ".{}.tmp-{}-{}",
             key_digest(key),
             std::process::id(),
+            // anoc-lint: allow(X001): tmp-name uniqueness counter; no ordering dependency
             PUT_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         {

@@ -34,7 +34,7 @@ const USAGE: &str = "usage: anoc run <TARGET> [OPTIONS]
        anoc cache <stats|clear>
        anoc capture [OPTIONS]
        anoc replay [OPTIONS]
-       anoc lint [--json] [--deny]
+       anoc lint [--json] [--deny] [--baseline FILE]
        anoc <TARGET> [OPTIONS]          (alias for `anoc run <TARGET>`)
 
 targets:
@@ -59,8 +59,14 @@ options:
   --out PATH    output path (fig17 image directory, capture/replay trace)
 
 lint options:
-  --json        machine-readable report (schema in EXPERIMENTS.md)
-  --deny        treat warnings as errors (what CI runs)";
+  --json                  machine-readable report (schema in EXPERIMENTS.md)
+  --deny                  treat warnings as errors (what CI runs)
+  --root PATH             lint this tree instead of the enclosing workspace
+  --baseline FILE         grandfather the findings recorded in FILE; fail only
+                          on new findings or suppression-count growth
+  --write-baseline FILE   regenerate FILE from the current tree and exit
+  --phase-deny NAME       add NAME to the D005 serial-edge deny list
+                          (repeatable)";
 
 /// All figure/table targets of `anoc run`, in `all` order.
 const TARGETS: [&str; 13] = [

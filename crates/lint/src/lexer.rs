@@ -65,12 +65,37 @@ pub struct MalformedDirective {
     pub detail: String,
 }
 
+/// A scope annotation: `// anoc-lint: phase(A)`.
+///
+/// It marks the next `fn` item (same line or below) as a root of that
+/// execution phase; D005 walks the call graph from every phase root. An
+/// annotation with no following `fn` in the file is reported as L000.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAnnotation {
+    pub line: u32,
+    pub phase: String,
+}
+
+/// A sanctioned RNG construction site:
+/// `// anoc-lint: rng-site: <why this seeding is deterministic>`.
+///
+/// D004 requires every seeded-Pcg32 construction in sim-critical library
+/// code to sit at one of these (same line or the line below); the reason is
+/// mandatory so each site documents its determinism argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RngSite {
+    pub line: u32,
+    pub reason: String,
+}
+
 /// The full lex of one source file.
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub suppressions: Vec<Suppression>,
     pub malformed: Vec<MalformedDirective>,
+    pub annotations: Vec<PhaseAnnotation>,
+    pub rng_sites: Vec<RngSite>,
 }
 
 impl Lexed {
@@ -80,6 +105,14 @@ impl Lexed {
         self.suppressions
             .iter()
             .any(|s| (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule))
+    }
+
+    /// Whether `line` is covered by an `rng-site` directive (same line or
+    /// the line directly above).
+    pub fn is_rng_site(&self, line: u32) -> bool {
+        self.rng_sites
+            .iter()
+            .any(|s| s.line == line || s.line + 1 == line)
     }
 }
 
@@ -424,7 +457,11 @@ impl Lexer {
         self.push(TokKind::Punct, a.to_string(), line);
     }
 
-    /// Parses `anoc-lint: allow(R1[, R2…]): reason` out of a line comment.
+    /// Parses an `anoc-lint:` directive out of a line comment. Three verbs:
+    ///
+    /// * `allow(R1[, R2…]): reason` — suppression;
+    /// * `phase(A)` — scope annotation for the next `fn` item (D005);
+    /// * `rng-site: reason` — sanctioned RNG construction site (D004).
     ///
     /// Only plain `//` comments whose body *starts with* `anoc-lint:` count:
     /// doc comments (`///`, `//!`) may mention the syntax in prose without
@@ -442,10 +479,50 @@ impl Lexer {
             line,
             detail: detail.to_string(),
         };
+        if let Some(rest) = rest.strip_prefix("phase(") {
+            let Some(close) = rest.find(')') else {
+                self.out.malformed.push(malformed("unclosed `phase(`"));
+                return;
+            };
+            let phase = rest[..close].trim();
+            let tail = rest[close + 1..].trim();
+            if phase.is_empty() || !phase.chars().all(|c| c == '_' || c.is_alphanumeric()) {
+                self.out
+                    .malformed
+                    .push(malformed("phase name must be a plain identifier"));
+                return;
+            }
+            if !tail.is_empty() {
+                self.out
+                    .malformed
+                    .push(malformed("unexpected text after `phase(...)`"));
+                return;
+            }
+            self.out.annotations.push(PhaseAnnotation {
+                line,
+                phase: phase.to_string(),
+            });
+            return;
+        }
+        if let Some(rest) = rest.strip_prefix("rng-site") {
+            let reason = rest.trim_start().strip_prefix(':').map(str::trim);
+            match reason {
+                Some(r) if !r.is_empty() => {
+                    self.out.rng_sites.push(RngSite {
+                        line,
+                        reason: r.to_string(),
+                    });
+                }
+                _ => self.out.malformed.push(malformed(
+                    "rng-site needs a reason: `rng-site: <why this seeding is deterministic>`",
+                )),
+            }
+            return;
+        }
         let Some(rest) = rest.strip_prefix("allow(") else {
-            self.out
-                .malformed
-                .push(malformed("expected `allow(<RULE>[, <RULE>…]): <reason>`"));
+            self.out.malformed.push(malformed(
+                "expected `allow(<RULE>[, <RULE>…]): <reason>`, `phase(<P>)` or `rng-site: <reason>`",
+            ));
             return;
         };
         let Some(close) = rest.find(')') else {
@@ -659,6 +736,47 @@ mod tests {
         ] {
             let l = lex(bad);
             assert_eq!(l.suppressions.len(), 0, "{bad}");
+            assert_eq!(l.malformed.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn phase_annotation_parses() {
+        let l = lex("// anoc-lint: phase(A)\nfn phase_a() {}\n");
+        assert_eq!(
+            l.annotations,
+            vec![PhaseAnnotation {
+                line: 1,
+                phase: "A".into()
+            }]
+        );
+        assert!(l.malformed.is_empty());
+    }
+
+    #[test]
+    fn rng_site_parses_and_requires_reason() {
+        let l = lex("// anoc-lint: rng-site: stateless per-site draw\nlet r = x;\n");
+        assert_eq!(l.rng_sites.len(), 1);
+        assert_eq!(l.rng_sites[0].reason, "stateless per-site draw");
+        assert!(l.is_rng_site(1));
+        assert!(l.is_rng_site(2));
+        assert!(!l.is_rng_site(3));
+    }
+
+    #[test]
+    fn malformed_phase_and_rng_site_are_reported() {
+        for bad in [
+            "// anoc-lint: phase(A",         // unclosed
+            "// anoc-lint: phase()",         // empty
+            "// anoc-lint: phase(A) extra",  // trailing text
+            "// anoc-lint: phase(A+B)",      // not an identifier
+            "// anoc-lint: rng-site",        // no reason
+            "// anoc-lint: rng-site:   ",    // empty reason
+            "// anoc-lint: rng-site reason", // missing colon
+        ] {
+            let l = lex(bad);
+            assert!(l.annotations.is_empty(), "{bad}");
+            assert!(l.rng_sites.is_empty(), "{bad}");
             assert_eq!(l.malformed.len(), 1, "{bad}");
         }
     }

@@ -5,24 +5,33 @@
 //! workloads, and `anoc-exec`'s result cache assumes a
 //! `(config, workload, seed)` key always reproduces identical bits. This
 //! crate enforces that invariant *statically*: a minimal std-only Rust lexer
-//! ([`lexer`]) feeds a small set of repo-specific rules ([`rules`]) with
-//! stable IDs, severity levels, inline suppressions and human or JSON output.
+//! ([`lexer`]) feeds a brace-matched scope tree ([`syntax`]) and a set of
+//! repo-specific rule families ([`rules`]) with stable IDs, severity levels,
+//! inline suppressions and human or JSON output.
 //!
-//! Run it as `anoc lint [--json] [--deny]` through the unified CLI, or
-//! directly with `cargo run --release -p anoc-lint -- --deny` (what CI does).
+//! Run it as `anoc lint [--json] [--deny] [--baseline FILE]` through the
+//! unified CLI, or directly with
+//! `cargo run --release -p anoc-lint -- --deny --baseline lint-baseline.json`
+//! (what CI does). With `--baseline`, findings already recorded in the
+//! committed baseline are *grandfathered* — the run fails only on new
+//! findings and on suppression-count growth, so the grandfathered set can
+//! be burned down incrementally without blocking unrelated work.
+//! `--write-baseline FILE` regenerates the file from the current tree.
 //!
-//! Exit codes: `0` clean, `1` findings (errors; any finding under `--deny`),
-//! `2` usage or I/O failure.
+//! Exit codes: `0` clean, `1` findings (errors; any finding under `--deny`;
+//! suppression growth past the baseline budget), `2` usage or I/O failure.
 
 #![forbid(unsafe_code)]
 
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use rules::{FileContext, Severity, Violation, SIM_CRITICAL_CRATES};
+use rules::{FileContext, RuleConfig, Severity, Violation, SIM_CRITICAL_CRATES};
 
 /// Options for one lint run.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +58,12 @@ pub struct Report {
     pub files_scanned: usize,
     pub findings: Vec<Finding>,
     pub suppressed: usize,
+    /// Findings removed by [`apply_baseline`] because the committed baseline
+    /// already records them.
+    pub grandfathered: usize,
+    /// The baseline's suppression budget, when one was applied: exceeding it
+    /// fails the run even if no new findings surfaced.
+    pub suppressed_budget: Option<usize>,
 }
 
 impl Report {
@@ -66,6 +81,12 @@ impl Report {
             .count()
     }
 
+    /// Suppression count grew past the applied baseline's budget.
+    pub fn suppression_growth(&self) -> bool {
+        self.suppressed_budget
+            .is_some_and(|budget| self.suppressed > budget)
+    }
+
     /// Process exit code under the given options.
     pub fn exit_code(&self, opts: &Options) -> i32 {
         let failing = if opts.deny {
@@ -73,7 +94,7 @@ impl Report {
         } else {
             self.errors()
         };
-        i32::from(failing > 0)
+        i32::from(failing > 0 || self.suppression_growth())
     }
 
     /// Human-readable rendering: one line per finding plus a summary.
@@ -90,7 +111,7 @@ impl Report {
                 f.message
             );
         }
-        let _ = writeln!(
+        let _ = write!(
             out,
             "anoc-lint: {} files, {} errors, {} warnings, {} suppressed",
             self.files_scanned,
@@ -98,20 +119,45 @@ impl Report {
             self.warnings(),
             self.suppressed
         );
+        if self.suppressed_budget.is_some() {
+            let _ = write!(out, ", {} grandfathered", self.grandfathered);
+        }
+        out.push('\n');
+        if let Some(budget) = self.suppressed_budget {
+            if self.suppressed > budget {
+                let _ = writeln!(
+                    out,
+                    "anoc-lint: suppression count {} exceeds the baseline budget {}; \
+                     fix the finding instead of adding an allow (or regenerate the \
+                     baseline with --write-baseline if the growth is deliberate)",
+                    self.suppressed, budget
+                );
+            }
+        }
         out
     }
 
     /// Machine-readable rendering. The schema is stable (documented in
     /// EXPERIMENTS.md): `version`, `files_scanned`, `errors`, `warnings`,
-    /// `suppressed`, and a `violations` array of
+    /// `suppressed`, `grandfathered`, `suppressed_budget` (number, or null
+    /// when no baseline was applied), and a `violations` array of
     /// `{rule, severity, path, line, message}` sorted by (path, line, rule).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"errors\": {},", self.errors());
         let _ = writeln!(out, "  \"warnings\": {},", self.warnings());
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        let _ = writeln!(out, "  \"grandfathered\": {},", self.grandfathered);
+        match self.suppressed_budget {
+            Some(b) => {
+                let _ = writeln!(out, "  \"suppressed_budget\": {b},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"suppressed_budget\": null,");
+            }
+        }
         out.push_str("  \"violations\": [");
         for (i, f) in self.findings.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
@@ -151,11 +197,132 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// A committed snapshot of the findings a tree is allowed to carry: per
+/// `(rule, path)` counts plus a total suppression budget. `--baseline`
+/// grandfathers up to `count` findings per entry and fails the run if the
+/// live suppression count exceeds `suppressed`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub suppressed: usize,
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Snapshots a (pre-baseline) report.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in &report.findings {
+            *entries
+                .entry((f.rule_id.to_string(), f.path.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            suppressed: report.suppressed,
+            entries,
+        }
+    }
+
+    /// Stable JSON rendering (sorted by rule, then path).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"entries\": [");
+        for (i, ((rule, path), count)) in self.entries.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"count\": {}}}",
+                json_escape(rule),
+                json_escape(path),
+                count
+            );
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses the line-oriented subset of JSON that [`Baseline::render_json`]
+    /// emits (std-only; no general JSON parser in the workspace).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut suppressed = None;
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix("\"suppressed\":") {
+                suppressed = Some(
+                    rest.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad suppressed count in `{line}`"))?,
+                );
+            } else if line.starts_with("{\"rule\":") {
+                let rule = json_field_str(line, "rule")
+                    .ok_or_else(|| format!("baseline entry missing rule: `{line}`"))?;
+                let path = json_field_str(line, "path")
+                    .ok_or_else(|| format!("baseline entry missing path: `{line}`"))?;
+                let count = json_field_num(line, "count")
+                    .ok_or_else(|| format!("baseline entry missing count: `{line}`"))?;
+                *entries.entry((rule, path)).or_insert(0) += count;
+            }
+        }
+        Ok(Baseline {
+            suppressed: suppressed.ok_or("baseline is missing \"suppressed\"")?,
+            entries,
+        })
+    }
+}
+
+fn json_field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn json_field_num(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Removes findings the baseline grandfathers (first `count` per
+/// `(rule, path)`, in report order) and records the suppression budget so
+/// [`Report::exit_code`] can fail on growth.
+pub fn apply_baseline(report: &mut Report, baseline: &Baseline) {
+    let mut budget = baseline.entries.clone();
+    let mut kept = Vec::new();
+    let mut grandfathered = 0usize;
+    for f in report.findings.drain(..) {
+        match budget.get_mut(&(f.rule_id.to_string(), f.path.clone())) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                grandfathered += 1;
+            }
+            _ => kept.push(f),
+        }
+    }
+    report.findings = kept;
+    report.grandfathered = grandfathered;
+    report.suppressed_budget = Some(baseline.suppressed);
+}
+
 /// Lints one in-memory source file under an explicit context. The unit-test
 /// entry point; [`lint_root`] drives it over a real tree.
 pub fn lint_source(ctx: &FileContext, src: &str) -> (Vec<Violation>, usize) {
+    lint_source_with(ctx, src, &RuleConfig::default())
+}
+
+/// [`lint_source`] with explicit rule parameters.
+pub fn lint_source_with(ctx: &FileContext, src: &str, cfg: &RuleConfig) -> (Vec<Violation>, usize) {
     let lexed = lexer::lex(src);
-    let all = rules::check(ctx, &lexed);
+    let all = rules::check_with(ctx, &lexed, cfg);
     let mut kept = Vec::new();
     let mut suppressed = 0usize;
     for v in all {
@@ -227,6 +394,11 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 
 /// Lints every workspace source file under `root`.
 pub fn lint_root(root: &Path) -> std::io::Result<Report> {
+    lint_root_with(root, &RuleConfig::default())
+}
+
+/// [`lint_root`] with explicit rule parameters.
+pub fn lint_root_with(root: &Path, cfg: &RuleConfig) -> std::io::Result<Report> {
     let mut report = Report::default();
     for path in collect_files(root)? {
         let rel = path
@@ -238,7 +410,7 @@ pub fn lint_root(root: &Path) -> std::io::Result<Report> {
             .join("/");
         let ctx = context_for(&rel);
         let src = std::fs::read_to_string(&path)?;
-        let (violations, suppressed) = lint_source(&ctx, &src);
+        let (violations, suppressed) = lint_source_with(&ctx, &src, cfg);
         report.files_scanned += 1;
         report.suppressed += suppressed;
         for v in violations {
@@ -274,11 +446,17 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Full CLI driver shared by the `anoc-lint` binary and `anoc lint`.
-/// Accepts `--json`, `--deny` and `--root PATH`; prints the report to
-/// stdout and returns the process exit code.
+/// Accepts `--json`, `--deny`, `--root PATH`, `--baseline FILE`,
+/// `--write-baseline FILE` and repeatable `--phase-deny NAME`; prints the
+/// report to stdout and returns the process exit code.
 pub fn run_cli(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: anoc-lint [--json] [--deny] [--root PATH] \
+                         [--baseline FILE] [--write-baseline FILE] [--phase-deny NAME]";
     let mut opts = Options::default();
     let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut cfg = RuleConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -291,9 +469,30 @@ pub fn run_cli(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --baseline needs a file path");
+                    return 2;
+                }
+            },
+            "--write-baseline" => match it.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --write-baseline needs a file path");
+                    return 2;
+                }
+            },
+            "--phase-deny" => match it.next() {
+                Some(name) => cfg.phase_deny.push(name.clone()),
+                None => {
+                    eprintln!("error: --phase-deny needs a function name");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: anoc-lint [--json] [--deny] [--root PATH]");
+                eprintln!("{USAGE}");
                 return 2;
             }
         }
@@ -314,8 +513,38 @@ pub fn run_cli(args: &[String]) -> i32 {
             }
         }
     };
-    match lint_root(&root) {
-        Ok(report) => {
+    match lint_root_with(&root, &cfg) {
+        Ok(mut report) => {
+            if let Some(path) = &write_baseline {
+                let base = Baseline::from_report(&report);
+                if let Err(e) = std::fs::write(path, base.render_json()) {
+                    eprintln!("error: cannot write baseline {}: {e}", path.display());
+                    return 2;
+                }
+                eprintln!(
+                    "anoc-lint: wrote baseline to {} ({} entries, {} suppressed)",
+                    path.display(),
+                    base.entries.len(),
+                    base.suppressed
+                );
+                return 0;
+            }
+            if let Some(path) = &baseline {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read baseline {}: {e}", path.display());
+                        return 2;
+                    }
+                };
+                match Baseline::parse(&text) {
+                    Ok(base) => apply_baseline(&mut report, &base),
+                    Err(e) => {
+                        eprintln!("error: bad baseline {}: {e}", path.display());
+                        return 2;
+                    }
+                }
+            }
             if opts.json {
                 print!("{}", report.render_json());
             } else {
@@ -416,11 +645,13 @@ mod tests {
             message: "a \"quoted\" message".into(),
         });
         let json = r.render_json();
-        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"files_scanned\": 2"));
         assert!(json.contains("\"errors\": 1"));
         assert!(json.contains("\"warnings\": 0"));
         assert!(json.contains("\"suppressed\": 1"));
+        assert!(json.contains("\"grandfathered\": 0"));
+        assert!(json.contains("\"suppressed_budget\": null"));
         assert!(json.contains(
             "{\"rule\": \"D002\", \"severity\": \"error\", \
              \"path\": \"crates/noc/src/sim.rs\", \"line\": 69, \
@@ -448,5 +679,103 @@ mod tests {
         );
         assert!(v.is_empty());
         assert_eq!(s, 1);
+    }
+
+    fn finding(rule_id: &'static str, path: &str, sev: Severity) -> Finding {
+        Finding {
+            rule_id,
+            severity: sev,
+            path: path.into(),
+            line: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut r = Report {
+            suppressed: 4,
+            ..Report::default()
+        };
+        r.findings.push(finding("C001", "a.rs", Severity::Warning));
+        r.findings.push(finding("C001", "a.rs", Severity::Warning));
+        r.findings.push(finding("D002", "b.rs", Severity::Error));
+        let base = Baseline::from_report(&r);
+        assert_eq!(base.suppressed, 4);
+        assert_eq!(base.entries[&("C001".into(), "a.rs".into())], 2);
+        let parsed = Baseline::parse(&base.render_json()).unwrap();
+        assert_eq!(parsed, base);
+        // An empty baseline round-trips too.
+        let empty = Baseline::from_report(&Report::default());
+        assert_eq!(Baseline::parse(&empty.render_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn baseline_parse_rejects_garbage() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\n  \"suppressed\": what\n}").is_err());
+        assert!(Baseline::parse(
+            "{\n  \"suppressed\": 1,\n  \"entries\": [\n    {\"rule\": \"C001\"}\n  ]\n}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn baseline_grandfathers_old_findings_and_keeps_new() {
+        let mut r = Report {
+            suppressed: 2,
+            ..Report::default()
+        };
+        r.findings.push(finding("C001", "a.rs", Severity::Warning));
+        r.findings.push(finding("C001", "a.rs", Severity::Warning));
+        r.findings.push(finding("D002", "new.rs", Severity::Error));
+        let mut base = Baseline {
+            suppressed: 2,
+            ..Baseline::default()
+        };
+        base.entries.insert(("C001".into(), "a.rs".into()), 2);
+        apply_baseline(&mut r, &base);
+        assert_eq!(r.grandfathered, 2);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].path, "new.rs");
+        // The new finding still fails the run.
+        assert_eq!(r.exit_code(&Options::default()), 1);
+    }
+
+    #[test]
+    fn baseline_count_overflow_is_a_new_finding() {
+        // Three findings against a budget of two: one stays visible.
+        let mut r = Report::default();
+        for _ in 0..3 {
+            r.findings.push(finding("C001", "a.rs", Severity::Warning));
+        }
+        let mut base = Baseline::default();
+        base.entries.insert(("C001".into(), "a.rs".into()), 2);
+        apply_baseline(&mut r, &base);
+        assert_eq!((r.grandfathered, r.findings.len()), (2, 1));
+    }
+
+    #[test]
+    fn suppression_growth_fails_even_when_clean() {
+        let mut r = Report {
+            suppressed: 3,
+            ..Report::default()
+        };
+        let base = Baseline {
+            suppressed: 2,
+            ..Baseline::default()
+        };
+        apply_baseline(&mut r, &base);
+        assert!(r.findings.is_empty());
+        assert!(r.suppression_growth());
+        assert_eq!(r.exit_code(&Options::default()), 1);
+        assert!(r.render_human().contains("exceeds the baseline budget"));
+        // At or under budget is fine.
+        let mut ok = Report {
+            suppressed: 2,
+            ..Report::default()
+        };
+        apply_baseline(&mut ok, &base);
+        assert_eq!(ok.exit_code(&Options::default()), 0);
     }
 }

@@ -1,0 +1,82 @@
+//! The concurrency family: X001.
+//!
+//! `anoc-exec` owns the only cross-thread machinery in the workspace — the
+//! `WorkerSet` mailbox state machines and the thread pool. Their
+//! correctness argument (DESIGN.md §10) leans on Acquire/Release pairs for
+//! every handoff, so a `Relaxed` ordering there is either a latent race or
+//! a deliberate, documented exception. X001 makes the second case the only
+//! representable one: every `Ordering::Relaxed` in the crate needs an
+//! `allow(X001): <reason>` stating why no cross-thread ordering is needed.
+
+use super::{rule, FileContext, Violation};
+use crate::lexer::{Lexed, TokKind};
+
+pub(super) fn check_x001(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Violation>) {
+    if ctx.crate_name != "exec" {
+        return;
+    }
+    // Deliberately *not* test-exempt: a test asserting on relaxed counters
+    // can mask the very race it is meant to catch, so the audit reason is
+    // required there too.
+    for t in &lexed.tokens {
+        if t.kind == TokKind::Ident && t.text == "Relaxed" {
+            out.push(Violation {
+                rule: rule("X001"),
+                line: t.line,
+                message: "`Ordering::Relaxed` in anoc-exec provides no cross-thread \
+                          ordering for mailbox/state-machine handoff; use \
+                          Acquire/Release or audit the site with `allow(X001): <why no \
+                          ordering is needed>`"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{check_src, ids};
+    use super::super::FileContext;
+
+    fn exec_ctx() -> FileContext {
+        FileContext {
+            path: "crates/exec/src/pool.rs".into(),
+            crate_name: "exec".into(),
+            ..FileContext::default()
+        }
+    }
+
+    #[test]
+    fn x001_fires_in_exec_even_in_tests() {
+        assert_eq!(
+            ids(&check_src(
+                &exec_ctx(),
+                "let v = seq.load(Ordering::Relaxed);"
+            )),
+            vec!["X001"]
+        );
+        assert_eq!(
+            ids(&check_src(
+                &exec_ctx(),
+                "#[cfg(test)]\nmod tests { fn f() { n.fetch_add(1, Ordering::Relaxed); } }"
+            )),
+            vec!["X001"]
+        );
+    }
+
+    #[test]
+    fn x001_suppresses_with_reason_and_passes_elsewhere() {
+        assert!(check_src(
+            &exec_ctx(),
+            "PUT_SEQ.fetch_add(1, Ordering::Relaxed) // anoc-lint: allow(X001): uniqueness only"
+        )
+        .is_empty());
+        assert!(check_src(&exec_ctx(), "slot.store(DONE, Ordering::Release);").is_empty());
+        // Other crates are out of scope for X001.
+        let harness = FileContext {
+            crate_name: "harness".into(),
+            ..FileContext::default()
+        };
+        assert!(check_src(&harness, "n.load(Ordering::Relaxed);").is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! The correctness family: C001–C003.
+
+use super::{rule, FileContext, Violation};
+use crate::lexer::{Lexed, TokKind};
+use crate::syntax::{attribute_at, ItemTree};
+
+/// C001 — library code must surface errors, not abort.
+pub(super) fn check_c001(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    tree: &ItemTree,
+    out: &mut Vec<Violation>,
+) {
+    if ctx.is_bin {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || tree.in_test(t.line) {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).map(|n| n.text == s).unwrap_or(false);
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev.map(|p| p.text == ".").unwrap_or(false) && next_is("(") => {
+                out.push(Violation {
+                    rule: rule("C001"),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` in sim-critical library code; return a Result or \
+                         document the invariant with an allow",
+                        t.text
+                    ),
+                });
+            }
+            "panic" if next_is("!") => {
+                out.push(Violation {
+                    rule: rule("C001"),
+                    line: t.line,
+                    message: "`panic!` in sim-critical library code; return a Result or \
+                              document the invariant with an allow"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// C002: the crate root must open with `#![forbid(unsafe_code)]`.
+pub(super) fn check_c002(lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" {
+            if let Some((attr, after)) = attribute_at(toks, i) {
+                let texts: Vec<&str> = attr.iter().map(|t| t.text.as_str()).collect();
+                if texts == ["forbid", "(", "unsafe_code", ")"] {
+                    return;
+                }
+                i = after;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out.push(Violation {
+        rule: rule("C002"),
+        line: 1,
+        message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+    });
+}
+
+/// File basenames whose whole content is a stats-accumulation path.
+const STATS_FILES: [&str; 4] = ["stats.rs", "histogram.rs", "metrics.rs", "progress.rs"];
+
+/// `as` targets that narrow a counter or rate (the PR 6 undercount class:
+/// a 64-bit accumulator squeezed through 32 bits drops high-traffic runs'
+/// precision silently).
+const NARROW_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// All integer `as` targets, for the float→int truncation pattern.
+const INT_TARGETS: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Float methods whose result is then commonly `as`-cast: `f.ceil() as u64`
+/// maps NaN to 0 silently (the PR 6 NaN/undercount bug class).
+const FLOAT_ROUNDERS: [&str; 4] = ["ceil", "floor", "round", "trunc"];
+
+/// C003 — silently-narrowing casts in stats-accumulation paths. Applies to
+/// sim-critical crates and `anoc-exec` (whose progress/rate code feeds the
+/// run summaries).
+pub(super) fn check_c003(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    tree: &ItemTree,
+    out: &mut Vec<Violation>,
+) {
+    if !(ctx.sim_critical || ctx.crate_name == "exec") || ctx.is_bin {
+        return;
+    }
+    let basename = ctx.path.rsplit('/').next().unwrap_or("");
+    let file_is_stats = STATS_FILES.contains(&basename);
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || tree.in_test(t.line) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        let in_stats_scope = file_is_stats
+            || tree.enclosing_impl_name(t.line).is_some_and(|n| {
+                n.contains("Stats") || n.contains("Tally") || n.contains("Histogram")
+            });
+        if !in_stats_scope {
+            continue;
+        }
+        if NARROW_TARGETS.contains(&target.text.as_str()) {
+            out.push(Violation {
+                rule: rule("C003"),
+                line: t.line,
+                message: format!(
+                    "`as {}` narrows a stats value; widen the accumulator or use a \
+                     checked conversion (silent truncation is the PR-6 undercount class)",
+                    target.text
+                ),
+            });
+            continue;
+        }
+        // `x.ceil() as u64` — the preceding tokens are `. rounder ( )`.
+        if INT_TARGETS.contains(&target.text.as_str())
+            && i >= 4
+            && toks[i - 1].text == ")"
+            && toks[i - 2].text == "("
+            && FLOAT_ROUNDERS.contains(&toks[i - 3].text.as_str())
+            && toks[i - 4].text == "."
+        {
+            out.push(Violation {
+                rule: rule("C003"),
+                line: t.line,
+                message: format!(
+                    "`.{}() as {}` maps NaN to 0 silently; guard the float before \
+                     casting or carry it as f64",
+                    toks[i - 3].text,
+                    target.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{check_src, ids, sim_ctx};
+    use super::super::FileContext;
+
+    #[test]
+    fn c001_hits_suppresses_and_passes() {
+        let ctx = sim_ctx();
+        assert_eq!(ids(&check_src(&ctx, "let v = x.unwrap();")), vec!["C001"]);
+        assert_eq!(
+            ids(&check_src(&ctx, "let v = x.expect(\"invariant\");")),
+            vec!["C001"]
+        );
+        assert_eq!(ids(&check_src(&ctx, "panic!(\"boom\");")), vec!["C001"]);
+        assert!(check_src(
+            &ctx,
+            "let v = x.expect(\"q\"); // anoc-lint: allow(C001): slot is live by construction"
+        )
+        .is_empty());
+        // unwrap_or / unwrap_or_default are fine.
+        assert!(check_src(&ctx, "let v = x.unwrap_or(0).min(y.unwrap_or_default());").is_empty());
+        // Test modules and test files may panic.
+        assert!(check_src(
+            &ctx,
+            "#[cfg(test)]\nmod tests {\n #[test]\n fn t() { x.unwrap(); panic!(\"in test\"); }\n}"
+        )
+        .is_empty());
+        let test_file = FileContext {
+            is_test_file: true,
+            ..sim_ctx()
+        };
+        assert!(check_src(&test_file, "fn t() { x.unwrap(); }").is_empty());
+        let bin = FileContext {
+            is_bin: true,
+            ..sim_ctx()
+        };
+        assert!(check_src(&bin, "x.unwrap();").is_empty());
+    }
+
+    #[test]
+    fn c002_hits_and_passes() {
+        let root = FileContext {
+            is_crate_root: true,
+            ..FileContext::default()
+        };
+        assert_eq!(
+            ids(&check_src(&root, "//! Docs only.\npub fn f() {}")),
+            vec!["C002"]
+        );
+        assert!(check_src(&root, "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}").is_empty());
+        // Non-root files are not required to carry the attribute.
+        assert!(check_src(&sim_ctx(), "pub fn f() {}").is_empty());
+    }
+
+    fn stats_ctx() -> FileContext {
+        FileContext {
+            path: "crates/noc/src/stats.rs".into(),
+            crate_name: "noc".into(),
+            sim_critical: true,
+            ..FileContext::default()
+        }
+    }
+
+    #[test]
+    fn c003_narrowing_in_stats_files_fires() {
+        let vs = check_src(
+            &stats_ctx(),
+            "impl NetStats { fn rate(&self) -> u32 { self.delivered as u32 } }",
+        );
+        assert_eq!(ids(&vs), vec!["C003"]);
+        // Widening casts are fine.
+        assert!(check_src(
+            &stats_ctx(),
+            "impl NetStats { fn rate(&self) -> f64 { self.delivered as f64 } }"
+        )
+        .is_empty());
+        assert!(check_src(
+            &stats_ctx(),
+            "fn idx(&self) -> usize { self.bucket as usize }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn c003_impl_scope_detection_outside_stats_files() {
+        // A Stats impl in a non-stats file is still covered…
+        let vs = check_src(
+            &sim_ctx(),
+            "impl InjectTally { fn count(&self) -> u16 { self.n as u16 } }",
+        );
+        assert_eq!(ids(&vs), vec!["C003"]);
+        // …but unrelated impls are not.
+        assert!(check_src(
+            &sim_ctx(),
+            "impl Router { fn port(&self) -> u8 { self.p as u8 } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn c003_float_rounder_truncation_fires() {
+        let vs = check_src(
+            &stats_ctx(),
+            "fn buckets(&self) -> u64 { (self.span / self.width).ceil() as u64 }",
+        );
+        assert_eq!(ids(&vs), vec!["C003"]);
+        assert!(vs[0].message.contains("NaN"));
+        // A rounder kept as float is fine.
+        assert!(check_src(
+            &stats_ctx(),
+            "fn b(&self) -> f64 { (self.span / self.width).ceil() }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn c003_applies_to_exec_but_not_harness() {
+        let exec = FileContext {
+            path: "crates/exec/src/progress.rs".into(),
+            crate_name: "exec".into(),
+            ..FileContext::default()
+        };
+        assert_eq!(
+            ids(&check_src(&exec, "fn pct(&self) -> u8 { self.frac as u8 }")),
+            vec!["C003"]
+        );
+        let harness = FileContext {
+            path: "crates/harness/src/progress.rs".into(),
+            crate_name: "harness".into(),
+            ..FileContext::default()
+        };
+        assert!(check_src(&harness, "fn pct(&self) -> u8 { self.frac as u8 }").is_empty());
+    }
+
+    #[test]
+    fn c003_suppresses_and_skips_tests() {
+        assert!(check_src(
+            &stats_ctx(),
+            "fn r(&self) -> u32 { self.d as u32 } // anoc-lint: allow(C003): bounded by grid size"
+        )
+        .is_empty());
+        assert!(check_src(
+            &stats_ctx(),
+            "#[cfg(test)]\nmod tests { fn f() { let x = big as u32; } }"
+        )
+        .is_empty());
+    }
+}

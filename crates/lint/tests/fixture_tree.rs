@@ -4,7 +4,7 @@
 
 use std::path::{Path, PathBuf};
 
-use anoc_lint::{lint_root, Options};
+use anoc_lint::{apply_baseline, lint_root, Baseline, Options};
 
 /// A scratch directory that cleans up after itself.
 struct TempTree(PathBuf);
@@ -126,6 +126,227 @@ fn clean_tree_is_quiet() {
         }),
         0
     );
+}
+
+/// One deliberately-violating fixture per v2 rule (D004, D005, X001, C003):
+/// each must fire, produce exit 1 under both modes, and serialize as a
+/// schema-stable JSON finding.
+#[test]
+fn new_rule_families_fire_and_deny() {
+    let tree = TempTree::new("v2-dirty");
+    tree.write("Cargo.toml", WORKSPACE_MANIFEST);
+    tree.write(
+        "crates/noc/src/lib.rs",
+        "//! Fixture crate root.\n\
+         #![forbid(unsafe_code)]\n\
+         pub mod jitter;\npub mod phase;\npub mod stats;\n",
+    );
+    // D004: seeded construction without an rng-site annotation.
+    tree.write(
+        "crates/noc/src/jitter.rs",
+        "pub fn jitter() -> u32 {\n\
+             let mut r = Pcg32::seed_from_u64(42);\n\
+             r.next_u32()\n\
+         }\n",
+    );
+    // D005: a phase(A) root reaching a serial-edge mutator via a helper.
+    tree.write(
+        "crates/noc/src/phase.rs",
+        "// anoc-lint: phase(A)\n\
+         pub fn phase_a(s: &mut Sim) { helper(s); }\n\
+         fn helper(s: &mut Sim) { s.eject_flit(0); }\n",
+    );
+    // C003: narrowing cast in a stats file.
+    tree.write(
+        "crates/noc/src/stats.rs",
+        "impl NetStats {\n\
+             pub fn rate(&self) -> u32 { self.flits_delivered as u32 }\n\
+         }\n",
+    );
+    // X001: Relaxed ordering in exec library code.
+    tree.write(
+        "crates/exec/src/lib.rs",
+        "//! Fixture exec root.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn poll(s: &std::sync::atomic::AtomicU8) -> u8 {\n\
+             s.load(std::sync::atomic::Ordering::Relaxed)\n\
+         }\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    let fired: Vec<&str> = report.findings.iter().map(|f| f.rule_id).collect();
+    for rule in ["D004", "D005", "X001", "C003"] {
+        assert!(fired.contains(&rule), "rule {rule} did not fire: {fired:?}");
+    }
+    // D004/D005/X001 are errors: the default mode already fails; C003 is a
+    // warning, covered by --deny.
+    assert_eq!(report.exit_code(&Options::default()), 1);
+    assert_eq!(
+        report.exit_code(&Options {
+            deny: true,
+            ..Options::default()
+        }),
+        1
+    );
+    // Schema-stable JSON: every new-rule finding serializes with the fixed
+    // key order (rule before severity before path).
+    let json = report.render_json();
+    assert!(json.contains("\"version\": 2"));
+    assert!(json.contains(
+        "{\"rule\": \"D004\", \"severity\": \"error\", \"path\": \"crates/noc/src/jitter.rs\""
+    ));
+    assert!(json.contains(
+        "{\"rule\": \"D005\", \"severity\": \"error\", \"path\": \"crates/noc/src/phase.rs\""
+    ));
+    assert!(json.contains(
+        "{\"rule\": \"C003\", \"severity\": \"warning\", \"path\": \"crates/noc/src/stats.rs\""
+    ));
+    assert!(json.contains(
+        "{\"rule\": \"X001\", \"severity\": \"error\", \"path\": \"crates/exec/src/lib.rs\""
+    ));
+}
+
+/// The v2 rules stay quiet when the contracts are honored: annotated RNG
+/// sites, a phase root with a read-only call chain, audited Relaxed.
+#[test]
+fn new_rules_pass_when_contracts_are_honored() {
+    let tree = TempTree::new("v2-clean");
+    tree.write("Cargo.toml", WORKSPACE_MANIFEST);
+    tree.write(
+        "crates/noc/src/lib.rs",
+        "//! Fixture crate root.\n\
+         #![forbid(unsafe_code)]\n\
+         pub mod kernel;\n",
+    );
+    tree.write(
+        "crates/noc/src/kernel.rs",
+        "// anoc-lint: rng-site: seeded from the sim config, one stream per run\n\
+         pub fn rng(seed: u64) -> Pcg32 { Pcg32::seed_from_u64(seed) }\n\
+         // anoc-lint: phase(A)\n\
+         pub fn phase_a(s: &Sim) -> u64 { peek(s) }\n\
+         fn peek(s: &Sim) -> u64 { s.now }\n\
+         pub fn edge(s: &mut Sim) { s.eject_flit(0); }\n",
+    );
+    tree.write(
+        "crates/exec/src/lib.rs",
+        "//! Fixture exec root.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn bump(n: &std::sync::atomic::AtomicU64) {\n\
+             // anoc-lint: allow(X001): monotonic counter, read only after join\n\
+             n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);\n\
+         }\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    assert!(
+        report.findings.is_empty(),
+        "unexpected findings: {:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed, 1); // the X001 audit
+}
+
+/// Test trees (`tests/`, `examples/`, `crates/*/tests/`) are walked and get
+/// the hygiene family only: clocks/maps/unwraps pass, malformed directives
+/// still fail — a typo'd suppression in a test tree must not fail open.
+#[test]
+fn test_trees_are_walked_with_hygiene_rules_only() {
+    let tree = TempTree::new("test-trees");
+    tree.write("Cargo.toml", WORKSPACE_MANIFEST);
+    tree.write(
+        "crates/noc/src/lib.rs",
+        "//! Fixture crate root.\n#![forbid(unsafe_code)]\n",
+    );
+    tree.write(
+        "crates/noc/tests/helper.rs",
+        "use std::collections::HashMap;\n\
+         fn scratch() -> HashMap<u32, u32> {\n\
+             let t = std::time::Instant::now();\n\
+             let _ = t.elapsed();\n\
+             HashMap::new()\n\
+         }\n\
+         #[test]\n\
+         fn t() { scratch().insert(1, 2).unwrap(); }\n",
+    );
+    tree.write(
+        "examples/demo.rs",
+        "fn main() {\n    println!(\"demo output is fine\");\n}\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    assert!(
+        report.findings.is_empty(),
+        "test trees should be hygiene-only: {:?}",
+        report.findings
+    );
+
+    // A malformed directive in the same tree is still an L000 error.
+    tree.write(
+        "tests/integration.rs",
+        "// anoc-lint: allow(D001)\nfn main() {}\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    let fired: Vec<(&str, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule_id, f.path.as_str()))
+        .collect();
+    assert_eq!(fired, vec![("L000", "tests/integration.rs")]);
+    assert_eq!(report.exit_code(&Options::default()), 1);
+}
+
+/// The baseline workflow end-to-end: grandfather the current findings, stay
+/// green; a new finding or suppression growth turns the run red again.
+#[test]
+fn baseline_grandfathers_and_catches_regressions() {
+    let tree = TempTree::new("baseline");
+    tree.write("Cargo.toml", WORKSPACE_MANIFEST);
+    tree.write(
+        "crates/noc/src/lib.rs",
+        "//! Fixture crate root.\n#![forbid(unsafe_code)]\npub mod old;\n",
+    );
+    tree.write(
+        "crates/noc/src/old.rs",
+        "pub fn legacy() -> u32 { Pcg32::seed_from_u64(1).next_u32() }\n",
+    );
+    let report = lint_root(tree.root()).expect("lint fixture tree");
+    assert_eq!(report.findings.len(), 1); // the D004 legacy site
+
+    // Snapshot it; the same tree under the baseline is green, even --deny.
+    let baseline = Baseline::from_report(&report);
+    let parsed = Baseline::parse(&baseline.render_json()).expect("round trip");
+    let mut rerun = lint_root(tree.root()).expect("lint fixture tree");
+    apply_baseline(&mut rerun, &parsed);
+    assert!(rerun.findings.is_empty());
+    assert_eq!(rerun.grandfathered, 1);
+    assert_eq!(
+        rerun.exit_code(&Options {
+            deny: true,
+            ..Options::default()
+        }),
+        0
+    );
+
+    // A brand-new violation is NOT grandfathered.
+    tree.write(
+        "crates/noc/src/fresh.rs",
+        "pub fn fresh() -> u32 { Pcg32::seed_from_u64(2).next_u32() }\n",
+    );
+    let mut regressed = lint_root(tree.root()).expect("lint fixture tree");
+    apply_baseline(&mut regressed, &parsed);
+    assert_eq!(regressed.findings.len(), 1);
+    assert_eq!(regressed.findings[0].path, "crates/noc/src/fresh.rs");
+    assert_eq!(regressed.exit_code(&Options::default()), 1);
+
+    // Suppression growth past the budget fails even with zero findings.
+    let _ = std::fs::remove_file(tree.root().join("crates/noc/src/fresh.rs"));
+    tree.write(
+        "crates/noc/src/old.rs",
+        "// anoc-lint: allow(D004): grandfathered legacy stream\n\
+         pub fn legacy() -> u32 { Pcg32::seed_from_u64(1).next_u32() }\n",
+    );
+    let mut grown = lint_root(tree.root()).expect("lint fixture tree");
+    assert!(grown.findings.is_empty());
+    assert_eq!(grown.suppressed, 1);
+    apply_baseline(&mut grown, &parsed); // budget was 0 suppressions
+    assert_eq!(grown.exit_code(&Options::default()), 1);
 }
 
 #[test]

@@ -4,14 +4,19 @@
 
 use std::path::Path;
 
-use anoc_lint::{lint_root, Options};
+use anoc_lint::{lint_root, Baseline, Options};
 
-#[test]
-fn workspace_is_lint_clean() {
+fn workspace_root() -> &'static Path {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/lint sits two levels under the workspace root");
+    root
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
     assert!(
         root.join("Cargo.toml").exists(),
         "workspace root not found at {}",
@@ -34,5 +39,31 @@ fn workspace_is_lint_clean() {
             ..Options::default()
         }),
         0
+    );
+}
+
+/// The committed baseline must stay in sync with reality: no grandfathered
+/// findings (the tree is clean), and a suppression budget the live count
+/// does not exceed. If a suppression was legitimately added, regenerate with
+/// `cargo run -p anoc-lint -- --write-baseline lint-baseline.json`.
+#[test]
+fn committed_baseline_matches_workspace() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("committed lint-baseline.json at the workspace root");
+    let baseline = Baseline::parse(&text).expect("parse committed baseline");
+    assert!(
+        baseline.entries.is_empty(),
+        "the workspace carries grandfathered findings; burn them down or \
+         justify each in the PR: {:?}",
+        baseline.entries
+    );
+    let report = lint_root(root).expect("lint workspace");
+    assert!(
+        report.suppressed <= baseline.suppressed,
+        "live suppression count {} exceeds the committed budget {}; fix the \
+         finding or regenerate the baseline deliberately",
+        report.suppressed,
+        baseline.suppressed
     );
 }

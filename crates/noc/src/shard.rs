@@ -180,6 +180,7 @@ pub(crate) fn port_stall(plan: &FaultPlan, now: u64, router: usize, port: usize)
         return false;
     }
     let site = mix64(plan.seed ^ now ^ ((router as u64) << 40) ^ ((port as u64) << 56));
+    // anoc-lint: rng-site: stateless per-(cycle,router,port) draw; same result on any shard count
     Pcg32::seed_from_u64(site).below(PPM) < plan.port_stall_ppm
 }
 
@@ -304,6 +305,7 @@ impl Shard {
     /// (deferring ejections and cross-slab trace lookups), then run VC +
     /// switch allocation over the shard's active routers. Reads only
     /// last-cycle-edge state; writes only shard-local state.
+    // anoc-lint: phase(A)
     fn phase_a(&mut self, ctx: &StepCtx) {
         let ring = Self::ring_index(ctx.now);
         // The due slot is swapped out and restored so its capacity is

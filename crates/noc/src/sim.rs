@@ -146,6 +146,7 @@ impl NocSim {
             tracing: false,
             traces: BTreeMap::new(),
             faults: FaultPlan::none(),
+            // anoc-lint: rng-site: inert placeholder; re-seeded by set_fault_plan before any draw
             fault_rng: Pcg32::seed_from_u64(0),
             bound_check: None,
             watchdog: None,
@@ -187,6 +188,7 @@ impl NocSim {
     /// inert plan ([`FaultPlan::none`]) draws no random numbers, so the run
     /// stays bit-identical to one without any plan.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        // anoc-lint: rng-site: dedicated fault stream, seeded from the plan (thread-count independent)
         self.fault_rng = Pcg32::seed_from_u64(plan.seed);
         self.faults = plan;
     }

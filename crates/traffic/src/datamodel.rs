@@ -224,6 +224,7 @@ impl DataModel {
 
     /// Creates a data model from an explicit profile.
     pub fn from_profile(profile: Profile, seed: u64) -> Self {
+        // anoc-lint: rng-site: value-pool synthesis stream, seeded from the workload seed
         let mut rng = Pcg32::new(seed, 0x7261_6666_6963);
         let hot_ints = (0..profile.hot_values)
             .map(|_| {

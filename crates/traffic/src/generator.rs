@@ -63,6 +63,7 @@ impl BenchmarkTraffic {
             benchmark,
             num_nodes,
             model: DataModel::new(benchmark, seed),
+            // anoc-lint: rng-site: per-generator injection stream, seeded from the workload seed
             rng: Pcg32::new(seed, 0x6765_6e65_7261),
             approx_ratio,
             load_scale: 1.0,
@@ -155,6 +156,7 @@ impl SyntheticTraffic {
             pattern,
             num_nodes,
             pool,
+            // anoc-lint: rng-site: synthetic-pattern stream, seeded from the workload seed
             rng: Pcg32::new(seed, 0x0073_796e_7468),
             flit_rate,
             data_ratio,
