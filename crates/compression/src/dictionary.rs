@@ -14,6 +14,7 @@
 use anoc_core::avcl::{low_mask, ApproxPattern, Avcl};
 use anoc_core::codec::Notification;
 use anoc_core::data::{DataType, NodeId};
+use anoc_core::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Number of PMT entries in both encoders and decoders (Table 1: 8).
 pub const DEFAULT_PMT_ENTRIES: usize = 8;
@@ -225,6 +226,75 @@ impl DecoderPmt {
         }
         self.candidates.retain(|c| c.1 > 0);
     }
+
+    /// Serializes the learned table (slots, candidate filter, race counter)
+    /// for a simulator snapshot. Structural parameters (slot count, node
+    /// count) are construction-time configuration and are not written.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(e) => {
+                    w.bool(true);
+                    w.u32(e.pattern);
+                    w.u32(e.freq);
+                    w.usize(e.valid.len());
+                    for &v in &e.valid {
+                        w.bool(v);
+                    }
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.candidates.len());
+        for &(word, freq) in &self.candidates {
+            w.u32(word);
+            w.u32(freq);
+        }
+        w.u64(self.races);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into an
+    /// identically configured table.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let slots = r.usize()?;
+        if slots != self.slots.len() {
+            return Err(SnapError::Invalid("decoder PMT slot count"));
+        }
+        for slot in &mut self.slots {
+            *slot = if r.bool()? {
+                let pattern = r.u32()?;
+                let freq = r.u32()?;
+                let nodes = r.usize()?;
+                let mut valid = Vec::with_capacity(nodes);
+                for _ in 0..nodes {
+                    valid.push(r.bool()?);
+                }
+                if valid.len() != self.num_nodes {
+                    return Err(SnapError::Invalid("decoder PMT valid width"));
+                }
+                Some(DecoderEntry {
+                    pattern,
+                    freq,
+                    valid,
+                })
+            } else {
+                None
+            };
+        }
+        let cands = r.usize()?;
+        if cands > CANDIDATE_ENTRIES {
+            return Err(SnapError::Invalid("decoder candidate count"));
+        }
+        self.candidates.clear();
+        for _ in 0..cands {
+            let word = r.u32()?;
+            let freq = r.u32()?;
+            self.candidates.push((word, freq));
+        }
+        self.races = r.u64()?;
+        Ok(())
+    }
 }
 
 /// One per-destination record of a DI-VAXX encoder entry: the encoded index
@@ -241,9 +311,12 @@ pub struct DestRecord {
 /// An encoder PMT entry. For DI-COMP the key is the exact pattern; for
 /// DI-VAXX it is the ternary approximate pattern computed by the APCL at
 /// install time, and `per_dest` additionally carries the original patterns.
+/// The install-time data type is kept so a threshold retarget can recompute
+/// the key's mask plane (see [`EncoderPmt::set_apcl`]).
 #[derive(Debug, Clone)]
 pub struct EncoderEntry {
     key: ApproxPattern,
+    dtype: DataType,
     freq: u32,
     per_dest: Vec<Option<DestRecord>>,
 }
@@ -295,6 +368,92 @@ impl EncoderPmt {
     /// Whether this PMT stores ternary (TCAM) keys.
     pub fn is_ternary(&self) -> bool {
         self.apcl.is_some()
+    }
+
+    /// Replaces the APCL at run time (the dynamic-threshold hook of the
+    /// staged-warmup methodology, DESIGN.md §11) and reprograms the mask
+    /// plane: every stored key's don't-care mask is recomputed from its
+    /// install-time pattern under the new threshold, exactly as a ternary
+    /// CAM whose masks derive from a global threshold register behaves when
+    /// that register is rewritten. Key *values* store the full install-time
+    /// pattern, so the rewrite is deterministic and idempotent. No-op on a
+    /// DI-COMP (binary CAM) table.
+    pub fn set_apcl(&mut self, apcl: Avcl) {
+        if self.apcl.is_some() {
+            self.apcl = Some(apcl);
+            for e in &mut self.entries {
+                let p = apcl.approx_pattern(e.key.value(), e.dtype);
+                e.key = ApproxPattern::new(p.value(), p.mask() & low_mask(MAX_TCAM_TERNARY_BITS));
+            }
+        }
+    }
+
+    /// Serializes the learned entries for a simulator snapshot. Keys are
+    /// stored verbatim (value + mask + install dtype), so restoring is
+    /// independent of the APCL installed at load time.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.u32(e.key.value());
+            w.u32(e.key.mask());
+            w.u8(match e.dtype {
+                DataType::Int => 0,
+                DataType::F32 => 1,
+            });
+            w.u32(e.freq);
+            w.usize(e.per_dest.len());
+            for rec in &e.per_dest {
+                match rec {
+                    Some(r) => {
+                        w.bool(true);
+                        w.u8(r.index);
+                        w.u32(r.original);
+                    }
+                    None => w.bool(false),
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into an
+    /// identically configured table.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n > self.capacity {
+            return Err(SnapError::Invalid("encoder PMT entry count"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let value = r.u32()?;
+            let mask = r.u32()?;
+            let dtype = match r.u8()? {
+                0 => DataType::Int,
+                1 => DataType::F32,
+                _ => return Err(SnapError::Invalid("encoder PMT entry dtype")),
+            };
+            let freq = r.u32()?;
+            let dests = r.usize()?;
+            if dests != self.num_nodes {
+                return Err(SnapError::Invalid("encoder PMT dest width"));
+            }
+            let mut per_dest = Vec::with_capacity(dests);
+            for _ in 0..dests {
+                per_dest.push(if r.bool()? {
+                    let index = r.u8()?;
+                    let original = r.u32()?;
+                    Some(DestRecord { index, original })
+                } else {
+                    None
+                });
+            }
+            self.entries.push(EncoderEntry {
+                key: ApproxPattern::new(value, mask),
+                dtype,
+                freq,
+                per_dest,
+            });
+        }
+        Ok(())
     }
 
     /// Number of live entries.
@@ -355,6 +514,7 @@ impl EncoderPmt {
         per_dest[from.index()] = Some(record);
         self.entries.push(EncoderEntry {
             key,
+            dtype,
             freq: 1,
             per_dest,
         });

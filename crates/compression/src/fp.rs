@@ -11,6 +11,8 @@ use anoc_core::codec::{
     BlockDecoder, BlockEncoder, CodecActivity, DecodeResult, EncodedBlock, WordCode,
 };
 use anoc_core::data::{CacheBlock, NodeId};
+use anoc_core::snap::{SnapError, SnapReader, SnapWriter};
+use anoc_core::threshold::ErrorThreshold;
 use anoc_core::window::WindowBudget;
 
 use crate::fpc::{self, FpcClass};
@@ -211,6 +213,23 @@ impl BlockEncoder for FpEncoder {
     fn activity(&self) -> CodecActivity {
         self.activity
     }
+
+    fn set_error_threshold(&mut self, threshold: ErrorThreshold) {
+        self.set_avcl(Avcl::new(threshold));
+    }
+
+    // The pattern table is static, so the only mutable state worth a
+    // snapshot is the activity counters. The window budget is deliberately
+    // excluded: windowed encoders exist only in custom-mechanism runs, which
+    // never take the snapshot path.
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.activity.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.activity = CodecActivity::load_state(r)?;
+        Ok(())
+    }
 }
 
 /// The FP-COMP / FP-VAXX decoder — shared by both mechanisms, since the
@@ -268,6 +287,15 @@ impl BlockDecoder for FpDecoder {
 
     fn activity(&self) -> CodecActivity {
         self.activity
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.activity.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.activity = CodecActivity::load_state(r)?;
+        Ok(())
     }
 }
 

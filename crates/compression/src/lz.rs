@@ -27,6 +27,8 @@ use anoc_core::codec::{
     BlockDecoder, BlockEncoder, CodecActivity, DecodeResult, EncodedBlock, WordCode,
 };
 use anoc_core::data::{CacheBlock, NodeId};
+use anoc_core::snap::{SnapError, SnapReader, SnapWriter};
+use anoc_core::threshold::ErrorThreshold;
 
 use matchfinder::MatchFinder;
 
@@ -270,6 +272,28 @@ impl BlockEncoder for LzEncoder {
         self.seed[slot] ^= 1 << bit;
         true
     }
+
+    fn set_error_threshold(&mut self, threshold: ErrorThreshold) {
+        self.avcl = Avcl::new(threshold);
+    }
+
+    // The match finder, window, and MTF ranker reset per block; the seed
+    // dictionary (mutable only through fault injection) and the activity
+    // counters are the whole cross-block state.
+    fn save_state(&self, w: &mut SnapWriter) {
+        for &s in &self.seed {
+            w.u32(s);
+        }
+        self.activity.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for s in &mut self.seed {
+            *s = r.u32()?;
+        }
+        self.activity = CodecActivity::load_state(r)?;
+        Ok(())
+    }
 }
 
 /// The LZ-VAXX decoder: replays raw words and back-reference copies against
@@ -331,6 +355,15 @@ impl BlockDecoder for LzDecoder {
 
     fn activity(&self) -> CodecActivity {
         self.activity
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.activity.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.activity = CodecActivity::load_state(r)?;
+        Ok(())
     }
 }
 

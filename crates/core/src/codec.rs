@@ -271,6 +271,34 @@ impl EncodeStats {
             self.bits_in as f64 / self.bits_out as f64
         }
     }
+
+    /// Serializes the accumulator for a simulator snapshot.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        for v in [
+            self.words,
+            self.exact_encoded,
+            self.approx_encoded,
+            self.raw,
+            self.bits_in,
+            self.bits_out,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Reads an accumulator written by [`save_state`](Self::save_state).
+    pub fn load_state(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<EncodeStats, crate::snap::SnapError> {
+        Ok(EncodeStats {
+            words: r.u64()?,
+            exact_encoded: r.u64()?,
+            approx_encoded: r.u64()?,
+            raw: r.u64()?,
+            bits_in: r.u64()?,
+            bits_out: r.u64()?,
+        })
+    }
 }
 
 /// Hardware activity counters a codec accumulates, consumed by the dynamic
@@ -294,6 +322,36 @@ pub struct CodecActivity {
 }
 
 impl CodecActivity {
+    /// Serializes the counters for a simulator snapshot.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        for v in [
+            self.cam_searches,
+            self.tcam_searches,
+            self.table_updates,
+            self.avcl_ops,
+            self.words_encoded,
+            self.words_decoded,
+            self.notifications,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Reads counters written by [`save_state`](Self::save_state).
+    pub fn load_state(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<CodecActivity, crate::snap::SnapError> {
+        Ok(CodecActivity {
+            cam_searches: r.u64()?,
+            tcam_searches: r.u64()?,
+            table_updates: r.u64()?,
+            avcl_ops: r.u64()?,
+            words_encoded: r.u64()?,
+            words_decoded: r.u64()?,
+            notifications: r.u64()?,
+        })
+    }
+
     /// Merges another activity record into this one.
     pub fn merge(&mut self, other: &CodecActivity) {
         self.cam_searches += other.cam_searches;
@@ -375,6 +433,31 @@ pub trait BlockEncoder {
         let _ = entropy;
         false
     }
+
+    /// Retargets the encoder's approximation threshold mid-run (the staged
+    /// warmup methodology warms every codec at the exact threshold and
+    /// retargets at the measurement boundary, DESIGN.md §11). Mechanisms
+    /// without a VAXX engine ignore this.
+    fn set_error_threshold(&mut self, threshold: crate::threshold::ErrorThreshold) {
+        let _ = threshold;
+    }
+
+    /// Serializes the encoder's mutable state (learned tables, RNG cursors,
+    /// activity counters) for a simulator snapshot. Stateless encoders write
+    /// nothing; whatever is written here must be read back by `load_state`.
+    fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into an
+    /// identically constructed encoder.
+    fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// A block decompression decoder living in a destination NI.
@@ -394,6 +477,22 @@ pub trait BlockDecoder {
     /// Hardware activity counters accumulated so far (for the power model).
     fn activity(&self) -> CodecActivity {
         CodecActivity::default()
+    }
+
+    /// Serializes the decoder's mutable state for a simulator snapshot (see
+    /// [`BlockEncoder::save_state`]).
+    fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into an
+    /// identically constructed decoder.
+    fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let _ = r;
+        Ok(())
     }
 }
 

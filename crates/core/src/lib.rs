@@ -14,7 +14,8 @@
 //!   mechanism implements, plus the encoded network representation;
 //! * [`metrics`] — error/quality/compression accumulators;
 //! * [`rng`] — a tiny deterministic PCG random number generator so that whole
-//!   simulations are pure functions of a `u64` seed.
+//!   simulations are pure functions of a `u64` seed;
+//! * [`snap`] — endian-stable binary primitives for simulator snapshots.
 //!
 //! ## Example
 //!
@@ -44,6 +45,7 @@ pub mod control;
 pub mod data;
 pub mod metrics;
 pub mod rng;
+pub mod snap;
 pub mod threshold;
 pub mod window;
 

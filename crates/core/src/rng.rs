@@ -33,6 +33,20 @@ impl Pcg32 {
         Pcg32::new(seed, 0xda3e_39cb_94b9_5bdb)
     }
 
+    /// The raw `(state, stream increment)` pair, for snapshotting a
+    /// generator mid-sequence.
+    pub fn state_parts(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuilds a generator from [`state_parts`](Self::state_parts). The
+    /// restored generator continues the original sequence exactly; this is a
+    /// resume, not a reseed, so it is exempt from the rng-site discipline
+    /// (the original construction site already justified its determinism).
+    pub fn from_state_parts(state: u64, inc: u64) -> Self {
+        Pcg32 { state, inc }
+    }
+
     /// The next 32 random bits.
     pub fn next_u32(&mut self) -> u32 {
         let old = self.state;
@@ -161,6 +175,19 @@ mod tests {
         }
         let mut c = Pcg32::seed_from_u64(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_parts_resume_mid_sequence() {
+        let mut a = Pcg32::new(99, 7);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let (state, inc) = a.state_parts();
+        let mut b = Pcg32::from_state_parts(state, inc);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
     }
 
     #[test]

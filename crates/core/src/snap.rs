@@ -1,0 +1,237 @@
+//! Primitive little-endian binary serialization for simulator snapshots.
+//!
+//! The snapshot format (DESIGN.md §11) is a flat, versioned byte stream:
+//! every multi-byte integer is written little-endian regardless of host
+//! byte order, floats travel as the raw bits of their IEEE-754
+//! representation, and collections are length-prefixed. [`SnapWriter`] and
+//! [`SnapReader`] are the only primitives the per-struct `save_state` /
+//! `load_state` hooks compose; keeping them this small is what makes the
+//! endian-stability argument auditable. Reads are total: a truncated or
+//! malformed stream yields a typed [`SnapError`], never a panic.
+
+use std::fmt;
+
+/// A typed failure while reading a snapshot stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapError {
+    /// The stream ended before the expected field.
+    Truncated,
+    /// A field decoded to a value the target struct cannot hold.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated => write!(f, "snapshot stream truncated"),
+            SnapError::Invalid(what) => write!(f, "invalid snapshot field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Appends little-endian primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Consumes the writer, yielding the serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (the on-disk width is host-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes an `f64` as the bits of its IEEE-754 representation, so the
+    /// round trip is bit-exact (including NaN payloads and signed zeros).
+    pub fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes raw bytes verbatim (the caller is responsible for framing).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Reads little-endian primitives from a byte slice, tracking position.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        SnapReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the whole stream has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` stored as a `u64`, rejecting values the host cannot
+    /// index with.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::Invalid("usize overflow"))
+    }
+
+    /// Reads a bool stored as one byte; any value other than 0/1 is invalid.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Invalid("bool byte")),
+        }
+    }
+
+    /// Reads an `f64` stored as IEEE-754 bits.
+    pub fn f64_bits(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 3);
+        w.usize(12345);
+        w.bool(true);
+        w.bool(false);
+        w.f64_bits(-0.0);
+        w.f64_bits(f64::NAN);
+        w.bytes(b"tail");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8(), Ok(7));
+        assert_eq!(r.u32(), Ok(0xdead_beef));
+        assert_eq!(r.u64(), Ok(u64::MAX - 3));
+        assert_eq!(r.usize(), Ok(12345));
+        assert_eq!(r.bool(), Ok(true));
+        assert_eq!(r.bool(), Ok(false));
+        assert_eq!(r.f64_bits().map(f64::to_bits), Ok((-0.0f64).to_bits()));
+        assert_eq!(r.f64_bits().map(f64::is_nan), Ok(true));
+        assert_eq!(r.bytes(4), Ok(&b"tail"[..]));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn layout_is_little_endian() {
+        let mut w = SnapWriter::new();
+        w.u32(0x0102_0304);
+        assert_eq!(w.into_bytes(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn truncation_is_typed_not_panicking() {
+        let mut r = SnapReader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(SnapError::Truncated));
+        // A failed read consumes nothing.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.u8(), Ok(1));
+        assert_eq!(r.bytes(2), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let mut r = SnapReader::new(&[2]);
+        assert!(matches!(r.bool(), Err(SnapError::Invalid(_))));
+        let mut w = SnapWriter::new();
+        assert!(w.is_empty());
+        w.u64(u64::MAX);
+        assert_eq!(w.len(), 8);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.usize().or(Ok::<usize, SnapError>(0)).is_ok());
+        let err = SnapError::Invalid("x");
+        assert!(err.to_string().contains("invalid"));
+        assert!(SnapError::Truncated.to_string().contains("truncated"));
+    }
+}

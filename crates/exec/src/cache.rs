@@ -149,7 +149,9 @@ impl ResultCache {
         })
     }
 
-    /// Deletes every entry, returning how many were removed.
+    /// Deletes every entry, returning how many were removed. Also sweeps
+    /// orphaned temp files (left behind by a put whose process died between
+    /// create and rename); they are not counted — they were never entries.
     ///
     /// # Errors
     ///
@@ -160,9 +162,16 @@ impl ResultCache {
             std::fs::remove_file(path)?;
             removed += 1;
         }
+        for path in stray_tmp_paths(&self.dir).collect::<Vec<_>>() {
+            std::fs::remove_file(path)?;
+        }
         Ok(removed)
     }
 
+    /// Only committed entries qualify: `<16-hex-digest>.txt`. In-flight
+    /// `.tmp-` files (and anything else in the directory) are invisible to
+    /// iteration, statistics and clearing-by-count, so a put racing with a
+    /// stats call can never be observed half-written.
     fn entry_paths(&self) -> impl Iterator<Item = PathBuf> {
         std::fs::read_dir(&self.dir)
             .into_iter()
@@ -176,6 +185,22 @@ impl ResultCache {
                         .is_some_and(|s| s.len() == 16 && s.chars().all(|c| c.is_ascii_hexdigit()))
             })
     }
+}
+
+/// Files matching the in-flight temp-file shape: hidden (`.`-prefixed) names
+/// containing the `.tmp-` marker [`ResultCache::put`] uses before its atomic
+/// rename.
+fn stray_tmp_paths(dir: &Path) -> impl Iterator<Item = PathBuf> {
+    std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with('.') && n.contains(".tmp-"))
+        })
 }
 
 /// The default cache directory: `$ANOC_CACHE_DIR` or `target/anoc-cache`.
@@ -290,6 +315,27 @@ mod tests {
             .collect();
         firsts.sort();
         assert_eq!(firsts, vec!["# fmt v1", "# fmt v2"]);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stray_tmp_files_are_invisible_and_swept_by_clear() {
+        // A process killed between temp-file create and rename leaves a
+        // `.tmp-` orphan behind. It must not count as an entry, must not
+        // appear in payload iteration or size accounting, and clear() must
+        // sweep it without counting it.
+        let cache = temp_cache("straytmp");
+        cache.put("k", "payload").expect("put");
+        let size_before = cache.size_bytes();
+        let orphan = cache.dir().join(".deadbeefdeadbeef.tmp-999-0");
+        std::fs::write(&orphan, "half-written entry").expect("write orphan");
+        assert_eq!(cache.len(), 1, "orphan counted as an entry");
+        assert_eq!(cache.payloads().count(), 1);
+        assert_eq!(cache.size_bytes(), size_before, "orphan counted in size");
+        assert!(cache.get("k").is_some());
+        assert_eq!(cache.clear().expect("clear"), 1, "orphan inflated count");
+        assert!(!orphan.exists(), "orphan survived clear");
+        assert!(cache.is_empty());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

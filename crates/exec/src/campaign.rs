@@ -8,6 +8,7 @@
 //! [`ResultCache`] and [`ResultCodec`] are supplied, cached cells skip
 //! simulation entirely and fresh results are written back for next time.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -15,12 +16,35 @@ use crate::cache::ResultCache;
 use crate::pool::ThreadPool;
 use crate::progress::Progress;
 
+/// A shared warm-start stage a job depends on.
+///
+/// Several sweep cells often share the exact same warmup (same config outside
+/// the measurement window, same workload and seed); each carries the same
+/// `key` and a closure that *produces* the warm state — typically by
+/// simulating the warmup once and publishing a snapshot to a
+/// [`SnapshotStore`](crate::SnapshotStore). The planner runs one closure per
+/// distinct key before the measurement jobs start; the jobs themselves then
+/// look the snapshot up and fall back to a cold run on a miss, so a failed
+/// or skipped warmup never fails a campaign.
+pub struct WarmupSpec {
+    /// Canonical content key identifying the shared warm state.
+    pub key: String,
+    /// Produces and publishes the warm state as a side effect.
+    pub work: WarmupWork,
+}
+
+/// The boxed side-effecting closure of a [`WarmupSpec`].
+pub type WarmupWork = Box<dyn FnOnce() + Send>;
+
 /// One schedulable unit of work: a single simulation cell.
 pub struct JobSpec<T> {
     /// Human-readable stable identifier, e.g. `fig9/ssca2/FP-VAXX/s42`.
     pub id: String,
     /// Canonical single-line content key; equal keys ⇒ equal results.
     pub key: String,
+    /// Optional shared warm-start stage; deduplicated by key across the plan
+    /// and run before the cache-missed jobs execute.
+    pub warmup: Option<WarmupSpec>,
     work: Box<dyn FnOnce() -> T + Send + 'static>,
 }
 
@@ -34,12 +58,26 @@ impl<T> JobSpec<T> {
         JobSpec {
             id: id.into(),
             key: key.into(),
+            warmup: None,
             work: Box::new(work),
         }
     }
 
-    /// Post-processes the job's result with `f`, keeping id and key — e.g.
-    /// wrapping an infallible job for [`run_campaign_checked`] with
+    /// Attaches a shared warm-start stage to this job.
+    pub fn with_warmup(
+        mut self,
+        key: impl Into<String>,
+        work: impl FnOnce() + Send + 'static,
+    ) -> Self {
+        self.warmup = Some(WarmupSpec {
+            key: key.into(),
+            work: Box::new(work),
+        });
+        self
+    }
+
+    /// Post-processes the job's result with `f`, keeping id, key and warmup
+    /// — e.g. wrapping an infallible job for [`run_campaign_checked`] with
     /// `job.map(Ok)`.
     pub fn map<U>(self, f: impl FnOnce(T) -> U + Send + 'static) -> JobSpec<U>
     where
@@ -49,6 +87,7 @@ impl<T> JobSpec<T> {
         JobSpec {
             id: self.id,
             key: self.key,
+            warmup: self.warmup,
             work: Box::new(move || f(work())),
         }
     }
@@ -214,17 +253,7 @@ pub fn run_campaign<T: Send + 'static>(
     options: &CampaignOptions,
     cycles_of: Option<fn(&T) -> u64>,
 ) -> (Vec<T>, CampaignReport) {
-    let jobs: Vec<JobSpec<Result<T, String>>> = jobs
-        .into_iter()
-        .map(|job| {
-            let work = job.work;
-            JobSpec {
-                id: job.id,
-                key: job.key,
-                work: Box::new(move || Ok(work())),
-            }
-        })
-        .collect();
+    let jobs: Vec<JobSpec<Result<T, String>>> = jobs.into_iter().map(|job| job.map(Ok)).collect();
     let outcome = run_campaign_checked(pool, cache, jobs, options, cycles_of);
     if !outcome.failures.is_empty() {
         let mut report = format!("{} campaign cell(s) failed:", outcome.failures.len());
@@ -282,6 +311,29 @@ pub fn run_campaign_checked<T: Send + 'static>(
         }
     }
     progress.cache_hits(cache_hits);
+
+    // Phase 1.5: run the shared warmups the missed jobs depend on, one per
+    // distinct key (first-wins, in deterministic key order). Warmups publish
+    // their state as a side effect (e.g. into a snapshot store); the jobs
+    // fall back to a cold run when that state is absent, so a panicking
+    // warmup degrades throughput, never correctness.
+    let mut warmups: BTreeMap<String, WarmupWork> = BTreeMap::new();
+    for (_, job) in &mut misses {
+        if let Some(spec) = job.warmup.take() {
+            warmups.entry(spec.key).or_insert(spec.work);
+        }
+    }
+    if !warmups.is_empty() {
+        let (keys, tasks): (Vec<String>, Vec<WarmupWork>) = warmups.into_iter().unzip();
+        for (i, outcome) in pool.run_ordered_results(tasks).into_iter().enumerate() {
+            if let Err(msg) = outcome {
+                eprintln!(
+                    "[{}] warmup '{}' panicked ({msg}); its cells run cold",
+                    options.label, keys[i]
+                );
+            }
+        }
+    }
 
     // Phase 2: execute the misses in parallel, isolating panics per cell.
     let executed = misses.len();
@@ -600,6 +652,83 @@ mod tests {
         assert!(msg.contains("2 campaign cell(s) failed"), "{msg}");
         assert!(msg.contains("odd cell 1"), "{msg}");
         assert!(msg.contains("odd cell 3"), "{msg}");
+    }
+
+    #[test]
+    fn warmups_run_once_per_key_and_only_for_misses() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPool::new(4);
+        let cache = temp_cache("warmup");
+        let codec = U64Codec;
+        // 6 cells over 2 warmup groups; counts how often each warmup runs
+        // and proves every warmup finished before any measurement started.
+        let warm_runs = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let measured_before_warm = Arc::new(AtomicUsize::new(0));
+        let make_jobs = |warm_runs: &Arc<[AtomicUsize; 2]>,
+                         early: &Arc<AtomicUsize>|
+         -> Vec<JobSpec<u64>> {
+            (0..6u64)
+                .map(|i| {
+                    let group = i % 2;
+                    let warm = Arc::clone(warm_runs);
+                    let warm_check = Arc::clone(warm_runs);
+                    let early = Arc::clone(early);
+                    JobSpec::new(format!("w/{i}"), format!("warm v1 n={i}"), move || {
+                        // anoc-lint: allow(X001): test-only counters
+                        if warm_check[group as usize].load(Ordering::SeqCst) == 0 {
+                            early.fetch_add(1, Ordering::SeqCst);
+                        }
+                        i * 10
+                    })
+                    .with_warmup(format!("warmup g={group}"), move || {
+                        warm[group as usize].fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect()
+        };
+        let (results, report) = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            make_jobs(&warm_runs, &measured_before_warm),
+            &CampaignOptions::quiet(),
+            None,
+        );
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+        assert_eq!(report.executed, 6);
+        // anoc-lint: allow(X001): test-only counters
+        assert_eq!(warm_runs[0].load(Ordering::SeqCst), 1, "group 0 deduped");
+        assert_eq!(warm_runs[1].load(Ordering::SeqCst), 1, "group 1 deduped");
+        assert_eq!(
+            measured_before_warm.load(Ordering::SeqCst),
+            0,
+            "all warmups complete before any measurement runs"
+        );
+        // Fully cached second run: warmups are skipped entirely.
+        let (_, report) = run_campaign(
+            &pool,
+            Some((&cache, &codec)),
+            make_jobs(&warm_runs, &measured_before_warm),
+            &CampaignOptions::quiet(),
+            None,
+        );
+        assert_eq!(report.cache_hits, 6);
+        assert_eq!(warm_runs[0].load(Ordering::SeqCst), 1);
+        assert_eq!(warm_runs[1].load(Ordering::SeqCst), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn a_panicking_warmup_does_not_fail_the_campaign() {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<JobSpec<u64>> = (0..3u64)
+            .map(|i| {
+                JobSpec::new(format!("pw/{i}"), format!("pw v1 n={i}"), move || i)
+                    .with_warmup("doomed warmup", || panic!("warmup exploded"))
+            })
+            .collect();
+        let (results, report) = run_campaign(&pool, None, jobs, &CampaignOptions::quiet(), None);
+        assert_eq!(results, vec![0, 1, 2]);
+        assert_eq!(report.executed, 3);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`cache`] — an on-disk, text-format [`ResultCache`](cache::ResultCache)
 //!   keyed by a content hash of the job's canonical key, so warm re-runs
 //!   skip simulation entirely;
+//! * [`snapshot_store`] — an on-disk, binary
+//!   [`SnapshotStore`](snapshot_store::SnapshotStore) holding post-warmup
+//!   simulator states and mid-campaign checkpoints, so sweep cells sharing a
+//!   warmup fork from one snapshot instead of replaying it;
 //! * [`progress`] — live queued/running/done + ETA reporting on stderr.
 //!
 //! ## Example
@@ -41,10 +45,12 @@ pub mod campaign;
 pub mod hash;
 pub mod pool;
 pub mod progress;
+pub mod snapshot_store;
 
 pub use cache::ResultCache;
 pub use campaign::{
     run_campaign, run_campaign_checked, CampaignOptions, CampaignOutcome, CampaignReport,
-    CellError, CellFailure, JobSpec, ResultCodec,
+    CellError, CellFailure, JobSpec, ResultCodec, WarmupSpec,
 };
 pub use pool::{plan_threads, ThreadPool, WorkerSet};
+pub use snapshot_store::SnapshotStore;

@@ -1,0 +1,299 @@
+//! The on-disk snapshot store.
+//!
+//! Sits beside [`ResultCache`](crate::ResultCache) but holds *binary*
+//! simulator snapshots instead of text results: post-warmup states keyed by
+//! the warmup half of a sweep cell's configuration (so cells differing only
+//! inside the measurement window fork from one shared warmup), and
+//! mid-measurement checkpoints keyed by the full cell (so a killed campaign
+//! resumes instead of restarting).
+//!
+//! Entries are named by the FNV-1a digest of the key and carry a store-level
+//! magic plus the full key (digest collisions are misses, never wrong
+//! snapshots) ahead of the opaque blob:
+//!
+//! ```text
+//! [8  bytes] b"ANOCSSTR"
+//! [8  bytes] key length, little-endian u64
+//! [n  bytes] key (UTF-8)
+//! [..      ] blob
+//! ```
+//!
+//! The blob's own integrity (simulator format version, config fingerprint)
+//! is the snapshot layer's job; the store only frames and names it. Writes
+//! go through a uniquely named temp file and an atomic rename, exactly like
+//! the result cache, so concurrent campaign workers never observe torn
+//! snapshots.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::key_digest;
+
+/// Magic first bytes of every snapshot-store file.
+const STORE_MAGIC: &[u8; 8] = b"ANOCSSTR";
+
+/// A directory of stored simulator snapshots.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// Opens the default store location: `$ANOC_SNAPSHOT_DIR` if set, else
+    /// `target/anoc-snapshots` under the current directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn open_default() -> io::Result<Self> {
+        SnapshotStore::open(default_snapshot_dir())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{}.snap", key_digest(key)))
+    }
+
+    /// Looks up `key`, returning the stored blob on a hit.
+    ///
+    /// Unreadable, malformed or colliding entries are misses — a snapshot
+    /// store can never fail a campaign, only make it colder.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let mut f = std::fs::File::open(self.path_of(key)).ok()?;
+        let mut header = [0u8; 16];
+        f.read_exact(&mut header).ok()?;
+        if &header[..8] != STORE_MAGIC {
+            return None;
+        }
+        let key_len = u64::from_le_bytes([
+            header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+            header[15],
+        ]);
+        let key_len = usize::try_from(key_len).ok()?;
+        if key_len != key.len() {
+            return None; // cheap pre-check before reading the key bytes
+        }
+        let mut stored_key = vec![0u8; key_len];
+        f.read_exact(&mut stored_key).ok()?;
+        if stored_key != key.as_bytes() {
+            return None; // digest collision
+        }
+        let mut blob = Vec::new();
+        f.read_to_end(&mut blob).ok()?;
+        Some(blob)
+    }
+
+    /// Stores `blob` under `key`, replacing any previous entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the entry.
+    pub fn put(&self, key: &str, blob: &[u8]) -> io::Result<()> {
+        // Same uniqueness discipline as ResultCache::put: pid + process-wide
+        // counter, so concurrent puts of one digest never share a temp file.
+        // SeqCst only because X001 audits every relaxed atomic in this crate
+        // and uniqueness is all that matters here; the fence is noise next
+        // to the file I/O below.
+        static PUT_SEQ: AtomicU64 = AtomicU64::new(0);
+        let final_path = self.path_of(key);
+        let tmp_path = self.dir.join(format!(
+            ".{}.tmp-{}-{}",
+            key_digest(key),
+            std::process::id(),
+            PUT_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(STORE_MAGIC)?;
+            f.write_all(&(key.len() as u64).to_le_bytes())?;
+            f.write_all(key.as_bytes())?;
+            f.write_all(blob)?;
+        }
+        std::fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Removes the entry for `key`, if present. Returns whether an entry was
+    /// removed. Used to retire a cell's checkpoint once it completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deletion errors other than the file not existing.
+    pub fn remove(&self, key: &str) -> io::Result<bool> {
+        match std::fs::remove_file(self.path_of(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Number of snapshots currently stored.
+    pub fn len(&self) -> usize {
+        self.entry_paths().count()
+    }
+
+    /// Whether the store holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size of all snapshots in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.entry_paths()
+            .filter_map(|p| p.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Deletes every snapshot, returning how many were removed. Orphaned
+    /// `.tmp-` files are swept too (uncounted — they were never entries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first deletion error.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for path in self.entry_paths().collect::<Vec<_>>() {
+            std::fs::remove_file(path)?;
+            removed += 1;
+        }
+        let strays: Vec<_> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with('.') && n.contains(".tmp-"))
+            })
+            .collect();
+        for path in strays {
+            std::fs::remove_file(path)?;
+        }
+        Ok(removed)
+    }
+
+    /// Only committed entries qualify: `<16-hex-digest>.snap`. In-flight
+    /// `.tmp-` files are invisible, mirroring the result cache.
+    fn entry_paths(&self) -> impl Iterator<Item = PathBuf> {
+        std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == "snap")
+                    && p.file_stem()
+                        .and_then(|s| s.to_str())
+                        .is_some_and(|s| s.len() == 16 && s.chars().all(|c| c.is_ascii_hexdigit()))
+            })
+    }
+}
+
+/// The default snapshot directory: `$ANOC_SNAPSHOT_DIR` or
+/// `target/anoc-snapshots`.
+pub fn default_snapshot_dir() -> PathBuf {
+    std::env::var_os("ANOC_SNAPSHOT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("anoc-snapshots"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("anoc-exec-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).expect("open temp store")
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let store = temp_store("roundtrip");
+        assert!(store.get("warmup a").is_none());
+        let blob: Vec<u8> = (0..=255).collect();
+        store.put("warmup a", &blob).expect("put");
+        assert_eq!(store.get("warmup a").as_deref(), Some(&blob[..]));
+        assert_eq!(store.len(), 1);
+        assert!(store.size_bytes() > blob.len() as u64);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn keys_do_not_alias_and_collisions_are_misses() {
+        let store = temp_store("alias");
+        store.put("cell a", b"A").expect("put");
+        store.put("cell b", b"B").expect("put");
+        assert_eq!(store.get("cell a").as_deref(), Some(&b"A"[..]));
+        assert_eq!(store.get("cell b").as_deref(), Some(&b"B"[..]));
+        assert!(store.get("cell c").is_none());
+        // Same digest file, different stored key: a miss, never key b's blob.
+        let path = store.dir().join(format!("{}.snap", key_digest("cell a")));
+        let mut forged = Vec::new();
+        forged.extend_from_slice(STORE_MAGIC);
+        forged.extend_from_slice(&(b"other".len() as u64).to_le_bytes());
+        forged.extend_from_slice(b"other");
+        forged.extend_from_slice(b"blob");
+        std::fs::write(&path, forged).expect("write");
+        assert!(store.get("cell a").is_none());
+        // Garbage content is also just a miss.
+        std::fs::write(&path, b"junk").expect("write");
+        assert!(store.get("cell a").is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let store = temp_store("remove");
+        store.put("checkpoint x", b"state").expect("put");
+        assert!(store.remove("checkpoint x").expect("remove"));
+        assert!(!store.remove("checkpoint x").expect("second remove"));
+        assert!(store.get("checkpoint x").is_none());
+        for i in 0..3 {
+            store.put(&format!("k{i}"), b"s").expect("put");
+        }
+        let orphan = store.dir().join(".feedfacefeedface.tmp-1-2");
+        std::fs::write(&orphan, b"half").expect("write orphan");
+        assert_eq!(store.len(), 3, "orphan visible");
+        assert_eq!(store.clear().expect("clear"), 3);
+        assert!(!orphan.exists(), "orphan survived clear");
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn overwrite_replaces_blob() {
+        let store = temp_store("overwrite");
+        store.put("k", b"old").expect("put");
+        store.put("k", b"new longer blob").expect("put");
+        assert_eq!(store.get("k").as_deref(), Some(&b"new longer blob"[..]));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn default_dir_honors_env() {
+        // Uses the documented env var without mutating the process env
+        // (other tests run in parallel): just check the fallback shape.
+        let d = default_snapshot_dir();
+        assert!(d.ends_with("anoc-snapshots") || std::env::var_os("ANOC_SNAPSHOT_DIR").is_some());
+    }
+}

@@ -16,13 +16,16 @@ use std::time::Duration;
 
 use anoc_exec::{
     run_campaign, run_campaign_checked, CampaignOptions, CampaignReport, CellFailure, JobSpec,
-    ResultCache, ResultCodec, ThreadPool,
+    ResultCache, ResultCodec, SnapshotStore, ThreadPool,
 };
+use anoc_noc::SimError;
 use anoc_traffic::{Benchmark, DestPattern};
 
 use crate::config::{Mechanism, SystemConfig};
 use crate::persist::{decode_run_result, encode_run_result};
-use crate::runner::RunResult;
+use crate::runner::{
+    publish_benchmark_warmup, try_run_benchmark_snap, RunResult, SnapshotPolicy, StagedInfo,
+};
 
 /// The [`ResultCodec`] storing [`RunResult`]s in the campaign cache.
 pub struct RunResultCodec;
@@ -41,25 +44,41 @@ impl ResultCodec<RunResult> for RunResultCodec {
 pub struct ExecContext {
     pool: ThreadPool,
     cache: Option<ResultCache>,
+    snapshots: Option<SnapshotStore>,
     sim_cycles: AtomicU64,
     wall_nanos: AtomicU64,
     executed_jobs: AtomicU64,
     cached_jobs: AtomicU64,
     keep_going: AtomicBool,
     failed_cells: AtomicU64,
+    checkpoint_every: AtomicU64,
+    resume: AtomicBool,
+    forked_jobs: AtomicU64,
+    resumed_jobs: AtomicU64,
+    skipped_cycles: AtomicU64,
 }
 
 impl ExecContext {
-    fn with(pool: ThreadPool, cache: Option<ResultCache>) -> Self {
+    fn with(
+        pool: ThreadPool,
+        cache: Option<ResultCache>,
+        snapshots: Option<SnapshotStore>,
+    ) -> Self {
         ExecContext {
             pool,
             cache,
+            snapshots,
             sim_cycles: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
             executed_jobs: AtomicU64::new(0),
             cached_jobs: AtomicU64::new(0),
             keep_going: AtomicBool::new(false),
             failed_cells: AtomicU64::new(0),
+            checkpoint_every: AtomicU64::new(0),
+            resume: AtomicBool::new(false),
+            forked_jobs: AtomicU64::new(0),
+            resumed_jobs: AtomicU64::new(0),
+            skipped_cycles: AtomicU64::new(0),
         }
     }
 }
@@ -76,15 +95,30 @@ pub struct ExecTotals {
     pub executed_jobs: u64,
     /// Jobs answered from the result cache without simulating.
     pub cached_jobs: u64,
+    /// Executed jobs whose warmup was forked from a snapshot.
+    pub forked_jobs: u64,
+    /// Executed jobs resumed from a mid-measurement checkpoint.
+    pub resumed_jobs: u64,
+    /// Cycles in `sim_cycles` that were restored rather than simulated
+    /// (forked warmups, resumed measurement prefixes).
+    pub skipped_cycles: u64,
 }
 
 impl ExecTotals {
-    /// Aggregate simulator throughput in cycles per second.
+    /// Cycles that were actually stepped: `sim_cycles` counts each result's
+    /// full simulated time, so restored (forked/resumed) cycles come off.
+    pub fn simulated_cycles(&self) -> u64 {
+        self.sim_cycles.saturating_sub(self.skipped_cycles)
+    }
+
+    /// Aggregate simulator throughput in cycles per second, over the cycles
+    /// that were actually stepped.
     pub fn cycles_per_second(&self) -> f64 {
-        if self.sim_cycles == 0 || self.wall.is_zero() {
+        let simulated = self.simulated_cycles();
+        if simulated == 0 || self.wall.is_zero() {
             0.0
         } else {
-            self.sim_cycles as f64 / self.wall.as_secs_f64()
+            simulated as f64 / self.wall.as_secs_f64()
         }
     }
 }
@@ -93,22 +127,34 @@ static CONTEXT: OnceLock<ExecContext> = OnceLock::new();
 
 /// Installs the process-wide context. Returns `false` if a context was
 /// already installed (first caller wins); call before any experiment runs.
-pub fn configure(threads: Option<usize>, cache: Option<ResultCache>) -> bool {
+pub fn configure(
+    threads: Option<usize>,
+    cache: Option<ResultCache>,
+    snapshots: Option<SnapshotStore>,
+) -> bool {
     CONTEXT
         .set(ExecContext::with(
             threads
                 .map(ThreadPool::new)
                 .unwrap_or_else(ThreadPool::with_default_size),
             cache,
+            snapshots,
         ))
         .is_ok()
 }
 
-/// The installed context, or a default one (default-sized pool, no cache —
-/// the CLI opts into caching explicitly, so library users and tests always
-/// simulate for real unless they configure otherwise).
+/// The installed context, or a default one (default-sized pool, no cache, no
+/// snapshot store — the CLI opts into caching explicitly, so library users
+/// and tests always simulate for real unless they configure otherwise).
 pub fn context() -> &'static ExecContext {
-    CONTEXT.get_or_init(|| ExecContext::with(ThreadPool::with_default_size(), None))
+    CONTEXT.get_or_init(|| ExecContext::with(ThreadPool::with_default_size(), None, None))
+}
+
+/// The installed context if [`configure`] has run, without installing the
+/// default one. Job builders use this so that merely *constructing* a plan
+/// never racingly claims the first-caller-wins [`configure`] slot.
+fn installed_context() -> Option<&'static ExecContext> {
+    CONTEXT.get()
 }
 
 impl ExecContext {
@@ -120,6 +166,51 @@ impl ExecContext {
     /// The result cache, if caching is enabled.
     pub fn cache(&self) -> Option<&ResultCache> {
         self.cache.as_ref()
+    }
+
+    /// The snapshot store, if warm-starting is enabled.
+    pub fn snapshots(&self) -> Option<&SnapshotStore> {
+        self.snapshots.as_ref()
+    }
+
+    /// Checkpoint executed cells every N measured cycles (0 disables).
+    pub fn set_checkpoint_every(&self, cycles: u64) {
+        self.checkpoint_every.store(cycles, Ordering::Relaxed);
+    }
+
+    /// The configured checkpoint interval (0 when disabled).
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every.load(Ordering::Relaxed)
+    }
+
+    /// Lets cells restart from their last stored checkpoint.
+    pub fn set_resume(&self, enabled: bool) {
+        self.resume.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether checkpoint resumption is on.
+    pub fn resume(&self) -> bool {
+        self.resume.load(Ordering::Relaxed)
+    }
+
+    /// Folds one cell's [`StagedInfo`] into the context totals.
+    pub fn note_staged(&self, info: &StagedInfo) {
+        if info.forked {
+            self.forked_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        if info.resumed {
+            self.resumed_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.skipped_cycles
+            .fetch_add(info.skipped_cycles, Ordering::Relaxed);
+    }
+
+    /// Counts a shared warmup stage that actually simulated (a snapshot-store
+    /// miss). Cell results only account for their own simulated time, so
+    /// without this a cold sweep would report the same cycle total as a warm
+    /// one and the summary could not show the warm-start saving.
+    pub fn note_warmup_simulated(&self, cycles: u64) {
+        self.sim_cycles.fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Enables (or disables) keep-going mode: campaigns run to completion
@@ -241,6 +332,9 @@ impl ExecContext {
             wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
             executed_jobs: self.executed_jobs.load(Ordering::Relaxed),
             cached_jobs: self.cached_jobs.load(Ordering::Relaxed),
+            forked_jobs: self.forked_jobs.load(Ordering::Relaxed),
+            resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
+            skipped_cycles: self.skipped_cycles.load(Ordering::Relaxed),
         }
     }
 }
@@ -290,6 +384,44 @@ pub fn cell_key(
     )
 }
 
+/// The content key of one cell's *warmup stage* — everything that influences
+/// the simulator state at the end of the warmup window, and nothing more.
+///
+/// Deliberately excluded, so sweep variants share one warmup snapshot:
+///
+/// * `threshold_percent` — staged runs warm up at the exact threshold and
+///   only retarget at the measurement boundary (DESIGN.md §11), so the
+///   post-warmup state is threshold-independent by construction;
+/// * `sim_cycles` / `drain_cycles` — they shape the measurement window and
+///   drain, which happen entirely after the snapshot point;
+/// * the shard count — sharded stepping is bit-identical to serial
+///   (DESIGN.md §10) and snapshots restore at any shard count.
+pub fn warmup_key(
+    kind: &str,
+    config: &SystemConfig,
+    mechanism: &str,
+    workload: &str,
+    seed: u64,
+) -> String {
+    let n = &config.noc;
+    format!(
+        "anoc-warmup v1 kind={kind} noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} ar={:016x} warm={} flt={{{}}} wd={} mech={mechanism} work={workload} seed={seed}",
+        n.width,
+        n.height,
+        n.concentration,
+        n.vcs,
+        n.vc_buffer,
+        n.flit_bits,
+        n.hide_compression,
+        n.va_overlap,
+        n.notify_in_band,
+        config.approx_ratio.to_bits(),
+        config.warmup_cycles,
+        config.faults.key_fragment(),
+        config.watchdog_horizon,
+    )
+}
+
 /// A short stable tag for a synthetic destination pattern, for cell keys.
 pub fn pattern_tag(p: DestPattern) -> String {
     match p {
@@ -304,6 +436,76 @@ pub fn pattern_tag(p: DestPattern) -> String {
     }
 }
 
+/// Runs one benchmark cell through the snapshot-aware driver, folding its
+/// [`StagedInfo`] into the context totals. With no snapshot store configured
+/// this is exactly [`crate::runner::try_run_benchmark`].
+fn run_benchmark_cell(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+    key: &str,
+) -> Result<RunResult, SimError> {
+    let ctx = installed_context();
+    let policy = match ctx {
+        Some(c) => SnapshotPolicy {
+            store: c.snapshots(),
+            warmup_key: Some(warmup_key(
+                "bench",
+                config,
+                mechanism.name(),
+                benchmark.name(),
+                seed,
+            )),
+            cell_key: Some(key.to_string()),
+            checkpoint_every: c.checkpoint_every(),
+            resume: c.resume(),
+        },
+        None => SnapshotPolicy::cold(),
+    };
+    let (result, info) = try_run_benchmark_snap(benchmark, mechanism, config, seed, &policy)?;
+    if let Some(c) = ctx {
+        c.note_staged(&info);
+    }
+    Ok(result)
+}
+
+/// Attaches the shared warmup stage to a benchmark job when warm-starting is
+/// on: the planner runs each distinct warmup key once (before any cell
+/// simulates) so every cache-missing cell of the sweep forks from it. A
+/// failed warmup costs replayed warmups, never the campaign.
+fn with_benchmark_warmup<T>(
+    job: JobSpec<T>,
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+) -> JobSpec<T> {
+    if installed_context()
+        .and_then(ExecContext::snapshots)
+        .is_none()
+    {
+        return job;
+    }
+    let wkey = warmup_key("bench", config, mechanism.name(), benchmark.name(), seed);
+    let config = config.clone();
+    let key = wkey.clone();
+    job.with_warmup(wkey, move || {
+        let Some(ctx) = installed_context() else {
+            return;
+        };
+        if let Some(store) = ctx.snapshots() {
+            match publish_benchmark_warmup(benchmark, mechanism, &config, seed, store, &key) {
+                Ok(true) => ctx.note_warmup_simulated(config.warmup_cycles),
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("warmup '{key}' failed ({e}); its cells replay the warmup");
+                }
+            }
+        }
+    })
+}
+
 /// Builds the job for one standard benchmark-traffic cell — the unit behind
 /// the matrix figures, the sensitivity sweeps and the Figure 16 anchors. All
 /// of them share the `bench` kind, so identical cells are computed (and
@@ -316,10 +518,15 @@ pub fn benchmark_job(
 ) -> JobSpec<RunResult> {
     let id = format!("{}/{}/s{seed}", benchmark.name(), mechanism.name());
     let key = cell_key("bench", config, mechanism.name(), benchmark.name(), seed);
-    let config = config.clone();
-    JobSpec::new(id, key, move || {
-        crate::runner::run_benchmark(benchmark, mechanism, &config, seed)
-    })
+    let cfg = config.clone();
+    let cell = key.clone();
+    let job = JobSpec::new(id, key, move || {
+        match run_benchmark_cell(benchmark, mechanism, &cfg, seed, &cell) {
+            Ok(r) => r,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    });
+    with_benchmark_warmup(job, benchmark, mechanism, config, seed)
 }
 
 /// The fault-tolerant sibling of [`benchmark_job`]: the cell returns `Err`
@@ -335,11 +542,12 @@ pub fn checked_benchmark_job(
 ) -> JobSpec<Result<RunResult, String>> {
     let id = format!("{}/{}/s{seed}", benchmark.name(), mechanism.name());
     let key = cell_key("bench", config, mechanism.name(), benchmark.name(), seed);
-    let config = config.clone();
-    JobSpec::new(id, key, move || {
-        crate::runner::try_run_benchmark(benchmark, mechanism, &config, seed)
-            .map_err(|e| e.to_string())
-    })
+    let cfg = config.clone();
+    let cell = key.clone();
+    let job = JobSpec::new(id, key, move || {
+        run_benchmark_cell(benchmark, mechanism, &cfg, seed, &cell).map_err(|e| e.to_string())
+    });
+    with_benchmark_warmup(job, benchmark, mechanism, config, seed)
 }
 
 #[cfg(test)]
@@ -383,6 +591,36 @@ mod tests {
         assert_ne!(base, k("bench", "FP-COMP", "ssca2", 42));
         assert_ne!(base, k("bench", "FP-VAXX", "x264", 42));
         assert_ne!(base, k("bench", "FP-VAXX", "ssca2", 43));
+    }
+
+    #[test]
+    fn warmup_key_excludes_measurement_window_knobs() {
+        let base = SystemConfig::paper();
+        let k = |c: &SystemConfig| warmup_key("bench", c, "FP-VAXX", "ssca2", 42);
+        let k0 = k(&base);
+        // Measurement-window knobs do not split the warmup.
+        assert_eq!(k0, k(&base.clone().with_threshold(5)));
+        assert_eq!(k0, k(&base.clone().with_shards(4)));
+        let mut window = base.clone();
+        window.sim_cycles = 123;
+        window.drain_cycles = 456;
+        assert_eq!(k0, k(&window));
+        // Everything shaping the post-warmup state does.
+        let mut warm = base.clone();
+        warm.warmup_cycles += 1;
+        assert_ne!(k0, k(&warm));
+        assert_ne!(k0, k(&base.clone().with_approx_ratio(0.5)));
+        assert_ne!(
+            k0,
+            k(&base
+                .clone()
+                .with_faults(anoc_noc::FaultPlan::bit_flips(1, 100)))
+        );
+        assert_ne!(k0, k(&base.clone().with_watchdog(0)));
+        assert_ne!(k0, warmup_key("bench", &base, "FP-COMP", "ssca2", 42));
+        assert_ne!(k0, warmup_key("bench", &base, "FP-VAXX", "x264", 42));
+        assert_ne!(k0, warmup_key("bench", &base, "FP-VAXX", "ssca2", 43));
+        assert_ne!(k0, warmup_key("synth", &base, "FP-VAXX", "ssca2", 42));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! parallel across cells, answering repeated cells from the on-disk result
 //! cache unless `--no-cache` is given.
 
-use anoc_exec::ResultCache;
+use anoc_exec::{ResultCache, SnapshotStore};
 use anoc_traffic::{Benchmark, DestPattern};
 
 use crate::campaign;
@@ -53,6 +53,11 @@ options:
                 results are bit-identical for any value)
   --grids N     scale target only: sweep the N smallest meshes (default 3)
   --no-cache    always simulate; do not read or write the result cache
+                (also disables the warm-start snapshot store)
+  --checkpoint-every N
+                snapshot each in-flight cell every N measured cycles, so a
+                killed campaign can restart with --resume (default 0 = off)
+  --resume      restart killed cells from their last checkpoint
   --csv         emit CSV instead of a text table
   --json        emit JSON instead of a text table (lz target only)
   --keep-going  complete campaigns past failed cells (exit 3 if any failed)
@@ -96,6 +101,8 @@ struct Opts {
     shards: usize,
     grids: usize,
     no_cache: bool,
+    checkpoint_every: u64,
+    resume: bool,
     csv: bool,
     json: bool,
     keep_going: bool,
@@ -111,6 +118,8 @@ impl Default for Opts {
             shards: 1,
             grids: 3,
             no_cache: false,
+            checkpoint_every: 0,
+            resume: false,
             csv: false,
             json: false,
             keep_going: false,
@@ -224,6 +233,8 @@ fn parse(argv: &[String]) -> Result<Command, String> {
             "--shards" => opts.shards = num("--shards")?.max(1) as usize,
             "--grids" => opts.grids = num("--grids")?.max(1) as usize,
             "--no-cache" => opts.no_cache = true,
+            "--checkpoint-every" => opts.checkpoint_every = num("--checkpoint-every")?,
+            "--resume" => opts.resume = true,
             "--csv" => opts.csv = true,
             "--json" => opts.json = true,
             "--keep-going" => opts.keep_going = true,
@@ -245,12 +256,18 @@ fn parse(argv: &[String]) -> Result<Command, String> {
 /// divided down with [`anoc_exec::plan_threads`] to keep `--threads` (or the
 /// machine's core count) from being oversubscribed.
 fn install_context(opts: &Opts) -> Result<(), String> {
-    let cache = if opts.no_cache {
-        None
+    let (cache, snapshots) = if opts.no_cache {
+        (None, None)
     } else {
-        Some(
-            ResultCache::open_default()
-                .map_err(|e| format!("cannot open result cache: {e} (try --no-cache)"))?,
+        (
+            Some(
+                ResultCache::open_default()
+                    .map_err(|e| format!("cannot open result cache: {e} (try --no-cache)"))?,
+            ),
+            Some(
+                SnapshotStore::open_default()
+                    .map_err(|e| format!("cannot open snapshot store: {e} (try --no-cache)"))?,
+            ),
         )
     };
     let threads = if opts.shards > 1 {
@@ -263,8 +280,11 @@ fn install_context(opts: &Opts) -> Result<(), String> {
     } else {
         opts.threads
     };
-    campaign::configure(threads, cache);
-    campaign::context().set_keep_going(opts.keep_going);
+    campaign::configure(threads, cache, snapshots);
+    let ctx = campaign::context();
+    ctx.set_keep_going(opts.keep_going);
+    ctx.set_checkpoint_every(opts.checkpoint_every);
+    ctx.set_resume(opts.resume);
     Ok(())
 }
 
@@ -337,6 +357,9 @@ fn execute(cmd: Command) -> Result<(), String> {
                 "cleared {removed} cache entries from {}",
                 cache.dir().display()
             );
+            let store = SnapshotStore::open_default().map_err(|e| e.to_string())?;
+            let snaps = store.clear().map_err(|e| e.to_string())?;
+            println!("cleared {snaps} snapshots from {}", store.dir().display());
             Ok(())
         }
         Command::Capture { opts } => capture(&opts),
@@ -355,10 +378,18 @@ fn print_sim_summary() {
     if t.executed_jobs > 0 {
         eprintln!(
             "simulated {:.2} Mcycles across {} jobs in {:.1}s: {:.2} Mcyc/s",
-            t.sim_cycles as f64 / 1e6,
+            t.simulated_cycles() as f64 / 1e6,
             t.executed_jobs,
             t.wall.as_secs_f64(),
             t.cycles_per_second() / 1e6,
+        );
+    }
+    if t.forked_jobs > 0 || t.resumed_jobs > 0 {
+        eprintln!(
+            "forked {} cell(s) from warmup snapshots, resumed {} from checkpoints: {:.2} Mcycles restored instead of simulated",
+            t.forked_jobs,
+            t.resumed_jobs,
+            t.skipped_cycles as f64 / 1e6,
         );
     }
     if t.cached_jobs > 0 {
@@ -750,6 +781,24 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse_strs(&["run", "scale", "--shards"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags_parse() {
+        match parse_strs(&["run", "fig13", "--checkpoint-every", "5000", "--resume"])
+            .expect("parse")
+        {
+            Command::Run { target, opts } => {
+                assert_eq!(target, "fig13");
+                assert_eq!(opts.checkpoint_every, 5000);
+                assert!(opts.resume);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let d = Opts::default();
+        assert_eq!(d.checkpoint_every, 0);
+        assert!(!d.resume);
+        assert!(parse_strs(&["run", "fig13", "--checkpoint-every"]).is_err());
     }
 
     #[test]

@@ -26,11 +26,16 @@ use crate::runner::RunResult;
 /// v5: [`RunResult`] gained `drained` — whether the post-measurement drain
 /// completed within budget. v4 entries predate the flag and cannot tell a
 /// finished run from a truncated one, so they are rejected and resimulated.
-const MAGIC: &str = "# anoc-result v5";
+///
+/// v6: runs became staged (DESIGN.md §11) — codecs warm up at the exact
+/// threshold and retarget at the measurement boundary, so the value-cache
+/// contents entering the window (and with them the VAXX numbers) differ from
+/// the single-loop methodology that produced v5 entries.
+const MAGIC: &str = "# anoc-result v6";
 
 /// The payload version this build writes and accepts (the numeric suffix of
 /// [`MAGIC`]); exposed so cache tooling can report version mixes.
-pub const RESULT_FORMAT_VERSION: u32 = 5;
+pub const RESULT_FORMAT_VERSION: u32 = 6;
 
 /// Extracts the result-format version of a stored payload without decoding
 /// it: `Some(3)` for a stale `# anoc-result v3` entry, `None` for payloads
@@ -307,7 +312,7 @@ mod tests {
         let good = encode_run_result(&r);
         assert!(decode_run_result("").is_none());
         assert!(decode_run_result("garbage").is_none());
-        assert!(decode_run_result(&good.replace("v5", "v4")).is_none());
+        assert!(decode_run_result(&good.replace("v6", "v5")).is_none());
         let truncated = &good[..good.rfind("activity_cycles").expect("field present")];
         assert!(decode_run_result(truncated).is_none());
         let unknown = good.replace("mechanism FP-VAXX", "mechanism NO-SUCH");
@@ -316,20 +321,21 @@ mod tests {
 
     #[test]
     fn stale_versions_are_rejected_not_misparsed() {
-        // Older payloads must be refused outright. A v4 entry in particular
-        // lacks the `drained` line, so accepting it would mistake a
-        // truncated run for a finished one; v3 additionally predates the
-        // LZ-VAXX mechanism namespace.
+        // Older payloads must be refused outright. A v5 entry decodes
+        // structurally but was produced by the pre-staged methodology, so
+        // accepting it would mix two different experiments in one figure; a
+        // v4 entry additionally lacks the `drained` line, and v3 predates
+        // the LZ-VAXX mechanism namespace.
         let cfg = SystemConfig::paper().with_sim_cycles(1_000);
         let r = run_benchmark(Benchmark::X264, Mechanism::DiVaxx, &cfg, 2);
-        let v5 = encode_run_result(&r);
-        assert!(v5.starts_with("# anoc-result v5\n"), "{v5}");
-        for stale in [3u32, 4] {
-            let old = v5.replacen("# anoc-result v5", &format!("# anoc-result v{stale}"), 1);
+        let v6 = encode_run_result(&r);
+        assert!(v6.starts_with("# anoc-result v6\n"), "{v6}");
+        for stale in [3u32, 4, 5] {
+            let old = v6.replacen("# anoc-result v6", &format!("# anoc-result v{stale}"), 1);
             assert!(decode_run_result(&old).is_none());
             assert_eq!(payload_version(&old), Some(stale));
         }
-        assert_eq!(payload_version(&v5), Some(RESULT_FORMAT_VERSION));
+        assert_eq!(payload_version(&v6), Some(RESULT_FORMAT_VERSION));
         assert_eq!(payload_version("not a result"), None);
         assert_eq!(payload_version(""), None);
     }

@@ -1,5 +1,17 @@
 //! The generic experiment driver: traffic source → NoC → statistics.
+//!
+//! Runs are **staged** (DESIGN.md §11): codecs are built at the exact
+//! threshold, the warmup window runs threshold-free, and only at the
+//! measurement boundary are the encoders retargeted to the configured
+//! threshold, the bound checker armed and measurement begun. The warmup
+//! trajectory is therefore identical for every threshold variant of a sweep,
+//! which is what lets the [`SnapshotPolicy`] fork those variants from one
+//! shared post-warmup snapshot instead of replaying the warmup per cell.
 
+use anoc_core::snap::{SnapReader, SnapWriter};
+use anoc_core::threshold::ErrorThreshold;
+use anoc_exec::hash::fnv1a64;
+use anoc_exec::SnapshotStore;
 use anoc_noc::{ActivityReport, NetStats, NocSim, SimError};
 use anoc_traffic::{Benchmark, BenchmarkTraffic, Injection, TrafficSource};
 
@@ -68,6 +80,61 @@ impl RunResult {
     }
 }
 
+/// How one run interacts with the on-disk [`SnapshotStore`].
+///
+/// [`cold`](SnapshotPolicy::cold) is a plain replayed-warmup run. With a
+/// store, `warmup_key` forks the run from the shared post-warmup snapshot
+/// (publishing it first when absent), `cell_key` + `checkpoint_every`
+/// periodically checkpoint the measurement window, and `resume` restarts a
+/// killed cell from its last checkpoint. Every snapshot miss, stale blob or
+/// restore failure silently degrades to the cold path — the store can make
+/// a campaign slower, never wrong.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotPolicy<'a> {
+    /// The snapshot store, or `None` for a purely cold run.
+    pub store: Option<&'a SnapshotStore>,
+    /// Key of the shared post-warmup snapshot to fork from (and to publish
+    /// on a cold run); see [`crate::campaign::warmup_key`].
+    pub warmup_key: Option<String>,
+    /// The cell's content key, identifying its mid-measurement checkpoints.
+    pub cell_key: Option<String>,
+    /// Checkpoint every N measured cycles (0 disables checkpointing).
+    pub checkpoint_every: u64,
+    /// Restart from the cell's last checkpoint if one exists.
+    pub resume: bool,
+}
+
+impl SnapshotPolicy<'_> {
+    /// A policy that never touches a snapshot store.
+    pub fn cold() -> Self {
+        SnapshotPolicy::default()
+    }
+}
+
+/// Execution metadata of one staged run — how the result was obtained, never
+/// part of the (cacheable) result itself, so warm and cold cells stay
+/// bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagedInfo {
+    /// The warmup was restored from a snapshot instead of simulated.
+    pub forked: bool,
+    /// The measurement window resumed from a mid-run checkpoint.
+    pub resumed: bool,
+    /// Simulated cycles avoided by forking/resuming (still counted in the
+    /// result's `total_cycles`, which reflects simulated *time*, not work).
+    pub skipped_cycles: u64,
+}
+
+/// The store key of a cell's mid-measurement checkpoint.
+pub fn checkpoint_key(cell_key: &str) -> String {
+    format!("checkpoint {cell_key}")
+}
+
+/// Stage tag of a post-warmup snapshot in a store blob.
+const STAGE_WARMUP: u32 = 1;
+/// Stage tag of a mid-measurement checkpoint in a store blob.
+const STAGE_CHECKPOINT: u32 = 2;
+
 /// Runs `mechanism` under the traffic produced by `source` for the
 /// configured warmup + measurement window, then drains.
 ///
@@ -89,13 +156,15 @@ pub fn run_with_source(
 
 /// Fallible [`run_with_source`]: a watchdog deadlock abort or a fatal
 /// bound-checker violation comes back as `Err` instead of panicking.
+///
+/// This is the staged cold path: exact-threshold warmup, retarget + arm +
+/// measure (see the module docs). It never touches a snapshot store.
 pub fn try_run_with_source(
     source: &mut dyn TrafficSource,
     mechanism: Mechanism,
     config: &SystemConfig,
 ) -> Result<RunResult, SimError> {
-    let codecs = mechanism.codecs(config.noc.num_nodes(), config.threshold());
-    try_run_custom(source, mechanism, config, codecs)
+    cold_run(source, mechanism, config, None, &SnapshotPolicy::cold())
 }
 
 /// Runs with explicitly supplied codec pairs — the entry point for
@@ -118,13 +187,11 @@ pub fn run_custom(
     }
 }
 
-/// Fallible [`run_custom`], the core driver every other entry point wraps.
-///
-/// Installs the configuration's [`anoc_noc::FaultPlan`] and watchdog
-/// horizon on the simulator. The end-to-end bound checker arms for the
-/// enumerated mechanisms, whose per-word guarantee is exactly
-/// `config.threshold()`; custom mechanisms (adaptive thresholds, windowed
-/// budgets) manage their own per-word allowances and are exempt.
+/// Fallible [`run_custom`]: custom codecs are used as supplied for the whole
+/// run (no exact-warmup retargeting — adaptive and windowed encoders manage
+/// their own thresholds), and the end-to-end bound checker stays off for
+/// [`Mechanism::Custom`], whose per-word allowance the configuration's
+/// threshold does not describe.
 ///
 /// # Panics
 ///
@@ -146,32 +213,115 @@ pub fn try_run_custom(
     sim.set_shards(config.shards);
     sim.set_fault_plan(config.faults);
     sim.set_watchdog(config.watchdog_horizon);
+    let mut buf: Vec<Injection> = Vec::new();
+    drive(&mut sim, source, config.warmup_cycles, &mut buf)?;
     if !matches!(mechanism, Mechanism::Custom(_)) {
         sim.set_bound_check(config.threshold());
     }
-    let mut buf: Vec<Injection> = Vec::new();
-    let total = config.warmup_cycles + config.sim_cycles;
-    for cycle in 0..total {
-        if cycle == config.warmup_cycles {
-            sim.begin_measurement();
+    // Unconditional: a zero-cycle warmup (even with a zero-cycle measurement
+    // window) still arms measurement, so the statistics are well-defined.
+    sim.begin_measurement();
+    measure_and_finish(&mut sim, source, mechanism, config, None, &mut buf)
+}
+
+/// Offers one cycle of traffic and advances the simulator, keeping the
+/// delivery log drained.
+fn step_cycle(
+    sim: &mut NocSim,
+    source: &mut dyn TrafficSource,
+    buf: &mut Vec<Injection>,
+) -> Result<(), SimError> {
+    buf.clear();
+    source.tick(sim.cycle(), buf);
+    for inj in buf.drain(..) {
+        match inj.payload {
+            Some(block) => {
+                sim.enqueue_data(inj.src, inj.dest, block);
+            }
+            None => {
+                sim.enqueue_control(inj.src, inj.dest);
+            }
         }
-        buf.clear();
-        source.tick(cycle, &mut buf);
-        for inj in buf.drain(..) {
-            match inj.payload {
-                Some(block) => {
-                    sim.enqueue_data(inj.src, inj.dest, block);
-                }
-                None => {
-                    sim.enqueue_control(inj.src, inj.dest);
+    }
+    sim.step();
+    if let Some(e) = sim.take_fatal_error() {
+        return Err(e);
+    }
+    sim.discard_delivered(); // keep the delivery buffer from growing
+    Ok(())
+}
+
+/// Advances the simulation until `sim.cycle()` reaches `until`.
+fn drive(
+    sim: &mut NocSim,
+    source: &mut dyn TrafficSource,
+    until: u64,
+    buf: &mut Vec<Injection>,
+) -> Result<(), SimError> {
+    while sim.cycle() < until {
+        step_cycle(sim, source, buf)?;
+    }
+    Ok(())
+}
+
+/// A fresh simulator for the staged path: exact-threshold codecs (retargeted
+/// at the measurement boundary), shards/fault-plan/watchdog armed — the
+/// arming happens *before* any snapshot restore, whose serialized cursors
+/// then overwrite what arming reset.
+fn fresh_sim(mechanism: Mechanism, config: &SystemConfig) -> NocSim {
+    let codecs = mechanism.codecs(config.noc.num_nodes(), ErrorThreshold::exact());
+    let mut sim = NocSim::new(config.noc.clone(), codecs);
+    sim.set_shards(config.shards);
+    sim.set_fault_plan(config.faults);
+    sim.set_watchdog(config.watchdog_horizon);
+    sim
+}
+
+/// The measurement boundary of a staged run: retarget the encoders to the
+/// configured threshold, arm the bound checker, start measuring.
+fn arm_measurement(sim: &mut NocSim, config: &SystemConfig) {
+    sim.set_error_threshold(config.threshold());
+    sim.set_bound_check(config.threshold());
+    sim.begin_measurement();
+}
+
+/// Runs the measurement window from wherever `sim` currently stands to its
+/// end, then drains and assembles the [`RunResult`]. Checkpoints per
+/// `policy` and retires the cell's checkpoint on success.
+fn measure_and_finish(
+    sim: &mut NocSim,
+    source: &mut dyn TrafficSource,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    store: Option<&SnapshotStore>,
+    buf: &mut Vec<Injection>,
+) -> Result<RunResult, SimError> {
+    measure_and_finish_ckpt(sim, source, mechanism, config, store, 0, None, buf)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_and_finish_ckpt(
+    sim: &mut NocSim,
+    source: &mut dyn TrafficSource,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    store: Option<&SnapshotStore>,
+    checkpoint_every: u64,
+    cell_key: Option<&str>,
+    buf: &mut Vec<Injection>,
+) -> Result<RunResult, SimError> {
+    let nodes = config.noc.num_nodes();
+    let total = config.warmup_cycles + config.sim_cycles;
+    while sim.cycle() < total {
+        step_cycle(sim, source, buf)?;
+        if checkpoint_every > 0 && sim.cycle() < total {
+            if let (Some(st), Some(ck)) = (store, cell_key) {
+                let measured = sim.cycle() - config.warmup_cycles;
+                if measured.is_multiple_of(checkpoint_every) {
+                    publish(st, &checkpoint_key(ck), STAGE_CHECKPOINT, sim, source);
                 }
             }
         }
-        sim.step();
-        if let Some(e) = sim.take_fatal_error() {
-            return Err(e);
-        }
-        sim.discard_delivered(); // keep the delivery buffer from growing
     }
     // Stop offering traffic; let in-flight measured packets finish.
     sim.end_measurement();
@@ -180,6 +330,10 @@ pub fn try_run_custom(
     sim.record_unfinished();
     let activity = sim.activity_report();
     let stats = sim.stats().clone();
+    if let (Some(st), Some(ck)) = (store, cell_key) {
+        // The cell completed: its checkpoint is spent.
+        let _ = st.remove(&checkpoint_key(ck));
+    }
     Ok(RunResult {
         mechanism,
         stats,
@@ -188,6 +342,269 @@ pub fn try_run_custom(
         total_cycles: sim.cycle(),
         drained,
     })
+}
+
+/// The staged cold path: exact-threshold warmup, optional snapshot publish,
+/// retarget + arm + measure.
+fn cold_run(
+    source: &mut dyn TrafficSource,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    store: Option<&SnapshotStore>,
+    policy: &SnapshotPolicy<'_>,
+) -> Result<RunResult, SimError> {
+    let nodes = config.noc.num_nodes();
+    assert_eq!(
+        source.num_nodes(),
+        nodes,
+        "traffic source and NoC disagree on node count"
+    );
+    let mut sim = fresh_sim(mechanism, config);
+    let mut buf: Vec<Injection> = Vec::new();
+    drive(&mut sim, source, config.warmup_cycles, &mut buf)?;
+    if let (Some(st), Some(wk)) = (store, policy.warmup_key.as_deref()) {
+        if source.snapshot_supported() {
+            publish(st, wk, STAGE_WARMUP, &sim, source);
+        }
+    }
+    arm_measurement(&mut sim, config);
+    measure_and_finish_ckpt(
+        &mut sim,
+        source,
+        mechanism,
+        config,
+        store,
+        policy.checkpoint_every,
+        policy.cell_key.as_deref(),
+        &mut buf,
+    )
+}
+
+/// Frames `sim` + `source` state as one store blob:
+/// `[u32 stage tag][u64 sim-blob length][sim blob][traffic-source state]`.
+fn freeze(
+    sim: &NocSim,
+    source: &dyn TrafficSource,
+    tag: u32,
+    fingerprint: u64,
+) -> Result<Vec<u8>, anoc_noc::SnapshotError> {
+    let sim_blob = sim.save_snapshot(fingerprint)?;
+    let mut w = SnapWriter::new();
+    w.u32(tag);
+    w.u64(sim_blob.len() as u64);
+    w.bytes(&sim_blob);
+    source.save_state(&mut w);
+    Ok(w.into_bytes())
+}
+
+/// Best-effort snapshot publication: a failed save or store write costs a
+/// replayed warmup next time, never the run.
+fn publish(store: &SnapshotStore, key: &str, tag: u32, sim: &NocSim, source: &dyn TrafficSource) {
+    match freeze(sim, source, tag, fnv1a64(key.as_bytes())) {
+        Ok(blob) => {
+            if let Err(e) = store.put(key, &blob) {
+                eprintln!("snapshot write for '{key}' failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("snapshot save for '{key}' refused: {e}"),
+    }
+}
+
+/// Restores a store blob into a freshly armed `sim` + never-ticked `source`.
+/// Any error means the pair is in an unspecified state: the caller must
+/// discard both and rebuild for the cold path.
+fn thaw(
+    blob: &[u8],
+    expect_tag: u32,
+    fingerprint: u64,
+    sim: &mut NocSim,
+    source: &mut dyn TrafficSource,
+) -> Result<(), String> {
+    let mut r = SnapReader::new(blob);
+    let tag = r.u32().map_err(|e| format!("stage tag: {e}"))?;
+    if tag != expect_tag {
+        return Err(format!("unexpected stage tag {tag} (want {expect_tag})"));
+    }
+    let len = r.u64().map_err(|e| format!("sim-blob length: {e}"))?;
+    let len = usize::try_from(len).map_err(|_| "sim-blob length overflows".to_string())?;
+    let sim_blob = r.bytes(len).map_err(|e| format!("sim blob: {e}"))?;
+    sim.restore_snapshot(sim_blob, fingerprint)
+        .map_err(|e| e.to_string())?;
+    source
+        .load_state(&mut r)
+        .map_err(|e| format!("traffic state: {e}"))?;
+    if !r.is_exhausted() {
+        return Err("trailing bytes after traffic state".into());
+    }
+    Ok(())
+}
+
+/// Runs just the warmup of a benchmark cell and publishes the post-warmup
+/// snapshot under `warmup_key` — the shared stage the campaign planner runs
+/// once per distinct key before the measurement cells. Skips simulating when
+/// the store already holds the key. Returns whether a fresh warmup was
+/// simulated and published.
+pub fn publish_benchmark_warmup(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+    store: &SnapshotStore,
+    warmup_key: &str,
+) -> Result<bool, SimError> {
+    if store.get(warmup_key).is_some() {
+        return Ok(false);
+    }
+    let mut source =
+        BenchmarkTraffic::new(benchmark, config.noc.num_nodes(), config.approx_ratio, seed);
+    if !source.snapshot_supported() {
+        return Ok(false);
+    }
+    let mut sim = fresh_sim(mechanism, config);
+    let mut buf = Vec::new();
+    drive(&mut sim, &mut source, config.warmup_cycles, &mut buf)?;
+    publish(store, warmup_key, STAGE_WARMUP, &sim, &source);
+    Ok(true)
+}
+
+/// The snapshot-aware benchmark driver: resume from a checkpoint if asked,
+/// else fork from the shared warmup snapshot, else run cold (publishing the
+/// warmup for the next cell). Returns the result plus [`StagedInfo`]
+/// describing how it was obtained; warm and cold results are bit-identical.
+pub fn try_run_benchmark_snap(
+    benchmark: Benchmark,
+    mechanism: Mechanism,
+    config: &SystemConfig,
+    seed: u64,
+    policy: &SnapshotPolicy<'_>,
+) -> Result<(RunResult, StagedInfo), SimError> {
+    let nodes = config.noc.num_nodes();
+    let make_source = || BenchmarkTraffic::new(benchmark, nodes, config.approx_ratio, seed);
+    let store = if make_source().snapshot_supported() {
+        policy.store
+    } else {
+        None
+    };
+    let total = config.warmup_cycles + config.sim_cycles;
+    let mut buf: Vec<Injection> = Vec::new();
+
+    // 1. Resume from the cell's last checkpoint.
+    if policy.resume {
+        if let (Some(st), Some(ck)) = (store, policy.cell_key.as_deref()) {
+            let key = checkpoint_key(ck);
+            if let Some(blob) = st.get(&key) {
+                let mut sim = fresh_sim(mechanism, config);
+                let mut source = make_source();
+                let thawed = thaw(
+                    &blob,
+                    STAGE_CHECKPOINT,
+                    fnv1a64(key.as_bytes()),
+                    &mut sim,
+                    &mut source,
+                )
+                .and_then(|()| {
+                    if sim.cycle() < config.warmup_cycles || sim.cycle() > total {
+                        Err(format!("checkpoint cycle {} out of range", sim.cycle()))
+                    } else {
+                        Ok(())
+                    }
+                });
+                match thawed {
+                    Ok(()) => {
+                        // Mid-measurement state: re-arm the excluded pieces
+                        // (threshold, bound check) but do NOT begin a new
+                        // measurement — the restored one continues.
+                        let skipped = sim.cycle();
+                        sim.set_error_threshold(config.threshold());
+                        sim.set_bound_check(config.threshold());
+                        let result = measure_and_finish_ckpt(
+                            &mut sim,
+                            &mut source,
+                            mechanism,
+                            config,
+                            store,
+                            policy.checkpoint_every,
+                            policy.cell_key.as_deref(),
+                            &mut buf,
+                        )?;
+                        return Ok((
+                            result,
+                            StagedInfo {
+                                forked: false,
+                                resumed: true,
+                                skipped_cycles: skipped,
+                            },
+                        ));
+                    }
+                    Err(msg) => {
+                        // A stale checkpoint is worse than none: drop it so
+                        // the next resume does not trip over it again.
+                        eprintln!("checkpoint for '{ck}' unusable ({msg}); restarting the cell");
+                        let _ = st.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Fork from the shared post-warmup snapshot.
+    if let (Some(st), Some(wk)) = (store, policy.warmup_key.as_deref()) {
+        if let Some(blob) = st.get(wk) {
+            let mut sim = fresh_sim(mechanism, config);
+            let mut source = make_source();
+            let thawed = thaw(
+                &blob,
+                STAGE_WARMUP,
+                fnv1a64(wk.as_bytes()),
+                &mut sim,
+                &mut source,
+            )
+            .and_then(|()| {
+                if sim.cycle() == config.warmup_cycles {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "snapshot is at cycle {}, warmup ends at {}",
+                        sim.cycle(),
+                        config.warmup_cycles
+                    ))
+                }
+            });
+            match thawed {
+                Ok(()) => {
+                    arm_measurement(&mut sim, config);
+                    let result = measure_and_finish_ckpt(
+                        &mut sim,
+                        &mut source,
+                        mechanism,
+                        config,
+                        store,
+                        policy.checkpoint_every,
+                        policy.cell_key.as_deref(),
+                        &mut buf,
+                    )?;
+                    return Ok((
+                        result,
+                        StagedInfo {
+                            forked: true,
+                            resumed: false,
+                            skipped_cycles: config.warmup_cycles,
+                        },
+                    ));
+                }
+                Err(msg) => {
+                    // Counted as a cold cell, never a panic: discard the
+                    // half-restored pair and replay the warmup below.
+                    eprintln!("warmup snapshot '{wk}' unusable ({msg}); replaying warmup");
+                }
+            }
+        }
+    }
+
+    // 3. Cold: replay the warmup (publishing it for the sweep's next cells).
+    let mut source = make_source();
+    let result = cold_run(&mut source, mechanism, config, store, policy)?;
+    Ok((result, StagedInfo::default()))
 }
 
 /// Summary statistics over repeated runs with different seeds.
@@ -394,5 +811,126 @@ mod tests {
             let r = run_benchmark(Benchmark::Streamcluster, m, &cfg, 5);
             assert_eq!(r.data_quality(), 1.0, "{m} corrupted data");
         }
+    }
+
+    fn temp_store(name: &str) -> SnapshotStore {
+        let dir = std::env::temp_dir().join(format!("anoc-runner-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).expect("open temp store")
+    }
+
+    /// Regression for the zero-warmup corner: `begin_measurement` arming
+    /// used to hinge on the loop hitting `cycle == warmup_cycles`, which a
+    /// zero-cycle run never did — statistics came back from an unarmed
+    /// window.
+    #[test]
+    fn zero_warmup_and_zero_window_still_arm_measurement() {
+        let mut cfg = SystemConfig::paper();
+        cfg.warmup_cycles = 0;
+        cfg.sim_cycles = 0;
+        let r = try_run_benchmark(Benchmark::Blackscholes, Mechanism::Baseline, &cfg, 1)
+            .expect("empty run completes");
+        assert!(r.drained, "nothing in flight, drain is trivially complete");
+        assert_eq!(r.stats.packets, 0);
+        assert_eq!(r.stats.unfinished, 0);
+        assert_eq!(r.total_cycles, 0);
+    }
+
+    #[test]
+    fn zero_warmup_measures_from_cycle_zero() {
+        let mut cfg = SystemConfig::paper().with_sim_cycles(2_000);
+        cfg.warmup_cycles = 0;
+        let r =
+            try_run_benchmark(Benchmark::Ssca2, Mechanism::FpComp, &cfg, 6).expect("run completes");
+        assert_eq!(r.stats.cycles, 2_000, "window covers the whole run");
+        assert!(r.stats.packets > 0, "cycle-0 injections are measured");
+    }
+
+    #[test]
+    fn forked_run_matches_cold_run_bit_for_bit() {
+        let store = temp_store("fork");
+        let cfg = SystemConfig::paper().with_sim_cycles(2_500);
+        let (bench, mech, seed) = (Benchmark::Ssca2, Mechanism::FpVaxx, 13);
+        let wk = "warmup fork-test";
+        assert!(
+            publish_benchmark_warmup(bench, mech, &cfg, seed, &store, wk).expect("warmup runs"),
+            "first publish simulates the warmup"
+        );
+        assert!(
+            !publish_benchmark_warmup(bench, mech, &cfg, seed, &store, wk).expect("no-op"),
+            "second publish is a store hit"
+        );
+        let policy = SnapshotPolicy {
+            store: Some(&store),
+            warmup_key: Some(wk.into()),
+            cell_key: Some("cell fork-test".into()),
+            checkpoint_every: 700,
+            resume: false,
+        };
+        let (warm, info) =
+            try_run_benchmark_snap(bench, mech, &cfg, seed, &policy).expect("forked run");
+        assert!(info.forked && !info.resumed);
+        assert_eq!(info.skipped_cycles, cfg.warmup_cycles);
+        let cold = try_run_benchmark(bench, mech, &cfg, seed).expect("cold run");
+        assert_eq!(
+            crate::persist::encode_run_result(&warm),
+            crate::persist::encode_run_result(&cold),
+            "forking the warmup changed the measured result"
+        );
+        assert!(
+            store.get(&checkpoint_key("cell fork-test")).is_none(),
+            "completed cell retires its checkpoint"
+        );
+        // A corrupt warmup blob degrades to a cold cell with the same result.
+        store.put(wk, b"garbage").expect("corrupt");
+        let (fallback, info) =
+            try_run_benchmark_snap(bench, mech, &cfg, seed, &policy).expect("fallback run");
+        assert!(!info.forked && info.skipped_cycles == 0);
+        assert_eq!(
+            crate::persist::encode_run_result(&fallback),
+            crate::persist::encode_run_result(&cold)
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical_and_retires_it() {
+        let store = temp_store("resume");
+        let cfg = SystemConfig::paper().with_sim_cycles(3_000);
+        let (bench, mech, seed) = (Benchmark::Ssca2, Mechanism::FpVaxx, 11);
+        let cold = try_run_benchmark(bench, mech, &cfg, seed).expect("cold reference");
+        // Reproduce a killed cell: warmup + 600 measured cycles, checkpoint,
+        // then "die".
+        let mut source = BenchmarkTraffic::new(bench, cfg.noc.num_nodes(), cfg.approx_ratio, seed);
+        let mut sim = fresh_sim(mech, &cfg);
+        let mut buf = Vec::new();
+        drive(&mut sim, &mut source, cfg.warmup_cycles, &mut buf).expect("warmup");
+        arm_measurement(&mut sim, &cfg);
+        drive(&mut sim, &mut source, cfg.warmup_cycles + 600, &mut buf).expect("measure");
+        let ck = "cell resume-test";
+        publish(&store, &checkpoint_key(ck), STAGE_CHECKPOINT, &sim, &source);
+        assert!(store.get(&checkpoint_key(ck)).is_some(), "checkpoint saved");
+        drop(sim);
+        let policy = SnapshotPolicy {
+            store: Some(&store),
+            warmup_key: None,
+            cell_key: Some(ck.into()),
+            checkpoint_every: 0,
+            resume: true,
+        };
+        let (resumed, info) =
+            try_run_benchmark_snap(bench, mech, &cfg, seed, &policy).expect("resumed run");
+        assert!(info.resumed && !info.forked);
+        assert_eq!(info.skipped_cycles, cfg.warmup_cycles + 600);
+        assert_eq!(
+            crate::persist::encode_run_result(&resumed),
+            crate::persist::encode_run_result(&cold),
+            "resuming mid-measurement changed the result"
+        );
+        assert!(
+            store.get(&checkpoint_key(ck)).is_none(),
+            "completed cell retires its checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -30,7 +30,7 @@ fn ctx() -> &'static campaign::ExecContext {
         let cache = ResultCache::open(scratch_dir()).expect("open scratch cache");
         cache.clear().expect("start from an empty cache");
         assert!(
-            campaign::configure(Some(4), Some(cache)),
+            campaign::configure(Some(4), Some(cache), None),
             "test context must be installed before any experiment runs"
         );
     });

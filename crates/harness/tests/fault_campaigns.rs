@@ -30,7 +30,7 @@ fn ctx() -> &'static campaign::ExecContext {
     INIT.get_or_init(|| {
         let cache = ResultCache::open(scratch_dir()).expect("open scratch cache");
         cache.clear().expect("start from an empty cache");
-        assert!(campaign::configure(Some(2), Some(cache)));
+        assert!(campaign::configure(Some(2), Some(cache), None));
     });
     campaign::context()
 }

@@ -1,0 +1,178 @@
+//! End-to-end pins for the warm-start snapshot store as sweeps use it:
+//! a multi-threshold sweep forked from a shared post-warmup snapshot is
+//! bit-identical to the same sweep run cold — at every shard count — while
+//! simulating measurably fewer cycles, and a fault-active campaign's
+//! monotonic violation curve is unchanged when its warmups are forked.
+
+use std::path::PathBuf;
+
+use anoc_exec::SnapshotStore;
+use anoc_harness::campaign::warmup_key;
+use anoc_harness::persist::encode_run_result;
+use anoc_harness::runner::{try_run_benchmark_snap, SnapshotPolicy};
+use anoc_harness::{Mechanism, SystemConfig};
+use anoc_noc::FaultPlan;
+use anoc_traffic::Benchmark;
+
+fn scratch_store(name: &str) -> SnapshotStore {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("anoc-snapshot-it-{}-{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch snapshot dir");
+    let store = SnapshotStore::open(dir).expect("open scratch snapshot store");
+    store.clear().expect("start from an empty store");
+    store
+}
+
+fn warm_policy<'a>(
+    store: &'a SnapshotStore,
+    config: &SystemConfig,
+    mechanism: Mechanism,
+    benchmark: Benchmark,
+    seed: u64,
+    cell: &str,
+) -> SnapshotPolicy<'a> {
+    SnapshotPolicy {
+        store: Some(store),
+        warmup_key: Some(warmup_key(
+            "bench",
+            config,
+            mechanism.name(),
+            benchmark.name(),
+            seed,
+        )),
+        cell_key: Some(cell.to_string()),
+        checkpoint_every: 0,
+        resume: false,
+    }
+}
+
+/// The acceptance pin: a three-threshold sweep at a fixed workload and seed,
+/// run warm against a snapshot store, is bit-identical to the cold sweep at
+/// shard counts 1 and 2 — and every cell after the first skips its warmup.
+#[test]
+fn warm_threshold_sweep_is_bit_identical_to_cold_at_any_shard_count() {
+    let store = scratch_store("sweep");
+    let benchmark = Benchmark::Ssca2;
+    let mechanism = Mechanism::FpVaxx;
+    let seed = 7;
+    let mut skipped_total = 0u64;
+    let mut forks = 0usize;
+
+    for shards in [1usize, 2] {
+        for threshold in [5u32, 10, 20] {
+            let config = SystemConfig::paper()
+                .with_sim_cycles(1_500)
+                .with_threshold(threshold)
+                .with_shards(shards);
+
+            let (cold, cold_info) = try_run_benchmark_snap(
+                benchmark,
+                mechanism,
+                &config,
+                seed,
+                &SnapshotPolicy::cold(),
+            )
+            .expect("cold cell");
+            assert!(!cold_info.forked && !cold_info.resumed);
+            assert_eq!(cold_info.skipped_cycles, 0);
+
+            let cell = format!("s{shards}-t{threshold}");
+            let policy = warm_policy(&store, &config, mechanism, benchmark, seed, &cell);
+            let (warm, info) = try_run_benchmark_snap(benchmark, mechanism, &config, seed, &policy)
+                .expect("warm cell");
+
+            assert_eq!(
+                encode_run_result(&cold),
+                encode_run_result(&warm),
+                "warm cell {cell} differs from its cold twin"
+            );
+            if info.forked {
+                forks += 1;
+                assert_eq!(info.skipped_cycles, config.warmup_cycles);
+            }
+            skipped_total += info.skipped_cycles;
+        }
+    }
+
+    // The warmup key excludes the threshold and the shard count, so the six
+    // cells share one snapshot: the first publishes it, the other five fork.
+    assert_eq!(forks, 5, "every cell after the first must fork");
+    assert!(
+        skipped_total >= 5 * 500,
+        "the warm sweep must simulate measurably fewer cycles (skipped {skipped_total})"
+    );
+    assert_eq!(store.len(), 1, "one shared warmup snapshot, no leftovers");
+}
+
+/// Satellite 3 at the harness level: a fault-injection ppm sweep replayed
+/// against a warm store forks every cell from its (fault-plan-specific)
+/// warmup snapshot, reproduces each cell bit-for-bit, and leaves the
+/// monotonic bound-violation curve unchanged.
+#[test]
+fn fault_active_sweep_survives_warmup_forking() {
+    let store = scratch_store("faults");
+    let benchmark = Benchmark::Blackscholes;
+    let mechanism = Mechanism::FpVaxx;
+    let seed = 11;
+    let sweep = [2_000u32, 50_000, 400_000];
+
+    let config_for = |ppm: u32| {
+        SystemConfig::paper()
+            .with_sim_cycles(3_000)
+            .with_threshold(10)
+            .with_faults(FaultPlan {
+                seed: 9,
+                link_bit_flip_ppm: ppm,
+                ..FaultPlan::none()
+            })
+            .with_watchdog(20_000)
+    };
+
+    let run_pass = |expect_forked: bool| {
+        sweep
+            .iter()
+            .map(|&ppm| {
+                let config = config_for(ppm);
+                let cell = format!("flt-{ppm}");
+                let policy = warm_policy(&store, &config, mechanism, benchmark, seed, &cell);
+                let (r, info) =
+                    try_run_benchmark_snap(benchmark, mechanism, &config, seed, &policy)
+                        .expect("fault cell");
+                assert_eq!(
+                    info.forked, expect_forked,
+                    "ppm {ppm}: forked={} but expected {expect_forked}",
+                    info.forked
+                );
+                r
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // Pass 1 runs cold and publishes each cell's warmup; the fault plan is
+    // part of the warmup key, so the three cells publish three snapshots.
+    let cold = run_pass(false);
+    assert_eq!(store.len(), sweep.len());
+    // Pass 2 forks every cell from its snapshot — with the fault RNG, bound
+    // checker and watchdog cursors restored mid-plan, not re-seeded.
+    let warm = run_pass(true);
+
+    for ((c, w), ppm) in cold.iter().zip(&warm).zip(sweep) {
+        assert_eq!(
+            encode_run_result(c),
+            encode_run_result(w),
+            "fault cell at {ppm} ppm differs after forking its warmup"
+        );
+    }
+    let curve: Vec<u64> = warm
+        .iter()
+        .map(|r| r.stats.faults.bound_violations)
+        .collect();
+    assert!(
+        curve.windows(2).all(|w| w[0] <= w[1]),
+        "violation curve must stay monotone: {curve:?}"
+    );
+    assert!(
+        *curve.last().unwrap() > 0,
+        "the heaviest fault plan must actually trip the bound checker: {curve:?}"
+    );
+}

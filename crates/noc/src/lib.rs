@@ -35,6 +35,7 @@ pub mod packet;
 pub mod router;
 mod shard;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod topology;
 
@@ -44,5 +45,6 @@ pub use histogram::LatencyHistogram;
 pub use ni::NodeCodec;
 pub use packet::{Delivered, PacketId, PacketKind};
 pub use sim::NocSim;
+pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
 pub use stats::{ActivityReport, NetStats};
 pub use topology::{Direction, Mesh};

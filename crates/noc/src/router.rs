@@ -10,7 +10,10 @@
 
 use std::collections::VecDeque;
 
+use anoc_core::snap::{SnapError, SnapReader, SnapWriter};
+
 use crate::packet::Flit;
+use crate::snapshot::{load_flit, load_opt_usize_below, save_flit, save_opt_usize};
 
 /// `x mod m` for `x < 2m`: one compare instead of a hardware divide, which
 /// dominated the allocation loop's round-robin index arithmetic.
@@ -275,6 +278,125 @@ impl Router {
             .iter()
             .map(|p| p.vcs.iter().map(|v| (v.credits, v.holder)).collect())
             .collect()
+    }
+
+    /// Serializes the router's mutable state for a snapshot: per input VC the
+    /// buffered flits (slots translated to canonical packet indices by
+    /// `remap`) and held route/VC, per output VC the credits and wormhole
+    /// holder, the round-robin pointers and the activity counters. Wiring
+    /// (`dest`/`upstream`) is configuration, not state, and is skipped; the
+    /// `occupied` bitmask and `buffered` count are derived and recomputed on
+    /// load.
+    pub(crate) fn save_state(
+        &self,
+        w: &mut SnapWriter,
+        remap: &impl Fn(u32) -> Option<u32>,
+    ) -> Result<(), SnapError> {
+        for port in &self.in_ports {
+            w.usize(port.rr);
+            for vc in &port.vcs {
+                w.usize(vc.buf.len());
+                for f in &vc.buf {
+                    save_flit(w, f, remap)?;
+                }
+                save_opt_usize(w, vc.out_port);
+                save_opt_usize(w, vc.out_vc);
+            }
+        }
+        for port in &self.out_ports {
+            w.usize(port.vc_rr);
+            w.usize(port.rr);
+            for vc in &port.vcs {
+                w.u32(vc.credits);
+                match vc.holder {
+                    Some((ip, v)) => {
+                        w.bool(true);
+                        w.u32(ip);
+                        w.u32(v);
+                    }
+                    None => w.bool(false),
+                }
+            }
+        }
+        w.u64(self.activity.buffer_writes);
+        w.u64(self.activity.buffer_reads);
+        w.u64(self.activity.vc_allocs);
+        w.u64(self.activity.crossbar_traversals);
+        w.u64(self.activity.link_traversals);
+        Ok(())
+    }
+
+    /// Restores state written by [`Router::save_state`] into a router built
+    /// with the same geometry. Every index that later feeds the allocator's
+    /// rotate arithmetic is range-checked here so a corrupt blob fails as a
+    /// typed error, never as a shift overflow mid-campaign.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        remap: &impl Fn(u32) -> Option<u32>,
+    ) -> Result<(), SnapError> {
+        let num_in = self.in_ports.len();
+        let num_vcs = self
+            .in_ports
+            .first()
+            .map(|p| p.vcs.len())
+            .unwrap_or_default();
+        let mut buffered = 0usize;
+        for port in &mut self.in_ports {
+            let rr = r.usize()?;
+            if rr >= num_vcs {
+                return Err(SnapError::Invalid("input round-robin index"));
+            }
+            port.rr = rr;
+            port.occupied = 0;
+            for (v, vc) in port.vcs.iter_mut().enumerate() {
+                let n = r.usize()?;
+                if n > 1 << 20 {
+                    return Err(SnapError::Invalid("vc buffer length"));
+                }
+                vc.buf.clear();
+                for _ in 0..n {
+                    vc.buf.push_back(load_flit(r, remap)?);
+                }
+                if !vc.buf.is_empty() {
+                    port.occupied |= 1 << v;
+                    buffered += vc.buf.len();
+                }
+                vc.out_port = load_opt_usize_below(r, num_in, "allocated output port")?;
+                vc.out_vc = load_opt_usize_below(r, num_vcs, "allocated output vc")?;
+            }
+        }
+        for port in &mut self.out_ports {
+            let vc_rr = r.usize()?;
+            let rr = r.usize()?;
+            if vc_rr >= num_vcs || rr >= num_in {
+                return Err(SnapError::Invalid("output round-robin index"));
+            }
+            port.vc_rr = vc_rr;
+            port.rr = rr;
+            for vc in &mut port.vcs {
+                vc.credits = r.u32()?;
+                vc.holder = if r.bool()? {
+                    let ip = r.u32()?;
+                    let v = r.u32()?;
+                    if ip as usize >= num_in || v as usize >= num_vcs {
+                        return Err(SnapError::Invalid("wormhole holder"));
+                    }
+                    Some((ip, v))
+                } else {
+                    None
+                };
+            }
+        }
+        self.buffered = buffered;
+        self.activity = RouterActivity {
+            buffer_writes: r.u64()?,
+            buffer_reads: r.u64()?,
+            vc_allocs: r.u64()?,
+            crossbar_traversals: r.u64()?,
+            link_traversals: r.u64()?,
+        };
+        Ok(())
     }
 
     /// One allocation cycle: VA + SA over all ports, appending the granted

@@ -43,10 +43,18 @@ use crate::ni::NodeCodec;
 use crate::packet::{Delivered, Flit, PacketId, PacketKind, PacketState, TraceEvent};
 use crate::router::{LinkDest, RouterActivity, Upstream};
 use crate::shard::{
-    build_shards, encode_slot, local_of_slot, shard_of_slot, Phase, Shard, StepCtx, MAX_SHARDS,
+    build_shards, encode_slot, local_of_slot, shard_of_slot, Arrival, Phase, Shard, StepCtx,
+    EVENT_HORIZON, MAX_SHARDS, SLOT_MASK,
+};
+use crate::snapshot::{
+    load_flit, load_link_dest, load_opt_usize_below, load_packet, load_stats, save_flit,
+    save_link_dest, save_opt_usize, save_packet, save_stats, SnapshotError, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 use crate::stats::{ActivityReport, NetStats};
 use crate::topology::Mesh;
+
+use anoc_core::snap::{SnapReader, SnapWriter};
 
 /// The cycle-accurate NoC simulator.
 pub struct NocSim {
@@ -772,6 +780,318 @@ impl NocSim {
     /// Immutable access to a node's codec pair.
     pub fn codec(&self, node: NodeId) -> &NodeCodec {
         &self.codecs[node.index()]
+    }
+
+    /// Retargets every node encoder's approximation threshold (VAXX control
+    /// logic reconfiguration). Encoders whose mechanism carries no threshold
+    /// ignore the call. Dictionary (TCAM) mask planes are reprogrammed:
+    /// every stored key's don't-care mask is recomputed from its
+    /// install-time pattern under the new threshold, as a ternary CAM whose
+    /// masks derive from a global threshold register behaves when that
+    /// register is rewritten — so a staged run measures with the same
+    /// tolerance over warmup-learned and window-learned entries alike.
+    pub fn set_error_threshold(&mut self, threshold: ErrorThreshold) {
+        for c in &mut self.codecs {
+            c.encoder.set_error_threshold(threshold);
+        }
+    }
+
+    /// Serializes the complete simulator state into a versioned, endian-
+    /// stable blob (DESIGN.md §11): routers, NIs, the packet slab, the event
+    /// ring, the fault-RNG cursor, progress bookkeeping, statistics and the
+    /// codec tables. `fingerprint` should digest every configuration input
+    /// that shapes the simulation; [`NocSim::restore_snapshot`] refuses a
+    /// blob saved under a different fingerprint.
+    ///
+    /// Saving refuses (with [`SnapshotError::Unclean`]) if a fatal error is
+    /// pending, the delivered-packet log has not been drained, or tracing is
+    /// active — those are driver-facing states a restored simulation could
+    /// not reproduce faithfully.
+    pub fn save_snapshot(&self, fingerprint: u64) -> Result<Vec<u8>, SnapshotError> {
+        if self.fatal.is_some() {
+            return Err(SnapshotError::Unclean("a fatal error is pending"));
+        }
+        if !self.delivered.is_empty() {
+            return Err(SnapshotError::Unclean("undrained delivered packets"));
+        }
+        if self.tracing || !self.traces.is_empty() {
+            return Err(SnapshotError::Unclean("per-packet tracing is active"));
+        }
+        let mut w = SnapWriter::new();
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(fingerprint);
+        // Structural echo: cheap self-description so a geometry mismatch is
+        // caught even under a colliding or sloppy fingerprint.
+        w.u64(self.mesh.num_routers() as u64);
+        w.u64(self.mesh.num_nodes() as u64);
+        w.u64(self.config.vcs as u64);
+        w.u64(self.config.vc_buffer as u64);
+        w.u32(self.config.flit_bits);
+        w.u64(self.cycle);
+        w.u64(self.next_pid);
+        w.bool(self.measuring);
+        w.u64(self.last_progress);
+        let (state, inc) = self.fault_rng.state_parts();
+        w.u64(state);
+        w.u64(inc);
+        // Packet slab, in canonical order (shard-ascending, slab-index-
+        // ascending). Slots are position-dependent — free-list history and
+        // shard count shape them — so flits serialize the packet's *rank* in
+        // this sequence instead, making the blob restorable at any shard
+        // count.
+        let canon_of: Vec<Vec<Option<u32>>> = {
+            let mut next = 0u32;
+            self.shards
+                .iter()
+                .map(|s| {
+                    s.packets
+                        .iter()
+                        .map(|p| {
+                            p.as_ref().map(|_| {
+                                let c = next;
+                                next += 1;
+                                c
+                            })
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let count: usize = canon_of.iter().flatten().flatten().count();
+        if count != self.live_packets {
+            return Err(SnapshotError::Unclean("live packet count out of sync"));
+        }
+        w.usize(count);
+        for shard in &self.shards {
+            for p in shard.packets.iter().flatten() {
+                save_packet(&mut w, p);
+            }
+        }
+        let remap = |slot: u32| -> Option<u32> {
+            canon_of
+                .get(shard_of_slot(slot))?
+                .get(local_of_slot(slot))
+                .copied()
+                .flatten()
+        };
+        // NI states, in global node order.
+        for shard in &self.shards {
+            for ni in &shard.nis {
+                w.usize(ni.queue.len());
+                for &slot in &ni.queue {
+                    match remap(slot) {
+                        Some(c) => w.u32(c),
+                        None => {
+                            return Err(SnapshotError::Structure("queued slot holds no packet"))
+                        }
+                    }
+                }
+                for &c in &ni.vc_credits {
+                    w.u32(c);
+                }
+                save_opt_usize(&mut w, ni.cur_vc);
+                w.u32(ni.next_seq);
+                w.usize(ni.vc_rr);
+            }
+        }
+        // Routers, in global router order.
+        for shard in &self.shards {
+            for r in &shard.routers {
+                r.save_state(&mut w, &remap)?;
+            }
+        }
+        // Event ring, per ring slot, shard-concatenated. Within a slot,
+        // router-target arrivals commute (at most one flit lands per input
+        // port per cycle and the port-stall draw is stateless), and eject
+        // arrivals appear in globally router-ascending order — the exact
+        // order the serial cycle edge processes them — because each shard's
+        // list is in local ring order and shards own ascending ranges. A
+        // restore at any shard count filters this sequence per target shard,
+        // which preserves that order.
+        for idx in 0..EVENT_HORIZON {
+            let total: usize = self.shards.iter().map(|s| s.events[idx].len()).sum();
+            w.usize(total);
+            for shard in &self.shards {
+                for a in &shard.events[idx] {
+                    save_link_dest(&mut w, a.target);
+                    w.usize(a.vc);
+                    save_flit(&mut w, &a.flit, &remap)?;
+                }
+            }
+        }
+        // Router activity flags, in global router order.
+        for shard in &self.shards {
+            for &a in &shard.active {
+                w.bool(a);
+            }
+        }
+        save_stats(&mut w, &self.stats);
+        for c in &self.codecs {
+            c.encoder.save_state(&mut w);
+            c.decoder.save_state(&mut w);
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Restores state saved by [`NocSim::save_snapshot`] into a simulator
+    /// built from the same configuration, at any shard count. The caller
+    /// must re-arm everything the snapshot deliberately excludes — fault
+    /// plan, watchdog, bound checker — *before* restoring: the restored
+    /// fault-RNG cursor and progress clock then overwrite what arming reset,
+    /// resuming the faulted run mid-stream instead of reseeding it.
+    ///
+    /// A stale, foreign or corrupt blob is rejected with a typed
+    /// [`SnapshotError`]. Header checks (magic, version, fingerprint,
+    /// geometry) fail before any state is touched; a body error detected
+    /// after that leaves the simulator in a memory-safe but unspecified
+    /// state — discard it and rebuild.
+    pub fn restore_snapshot(&mut self, blob: &[u8], fingerprint: u64) -> Result<(), SnapshotError> {
+        let mut r = SnapReader::new(blob);
+        let magic = r.bytes(SNAPSHOT_MAGIC.len())?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        if r.u64()? != fingerprint {
+            return Err(SnapshotError::FingerprintMismatch);
+        }
+        if r.u64()? != self.mesh.num_routers() as u64
+            || r.u64()? != self.mesh.num_nodes() as u64
+            || r.u64()? != self.config.vcs as u64
+            || r.u64()? != self.config.vc_buffer as u64
+            || r.u32()? != self.config.flit_bits
+        {
+            return Err(SnapshotError::Structure("network geometry"));
+        }
+        let cycle = r.u64()?;
+        let next_pid = r.u64()?;
+        let measuring = r.bool()?;
+        let last_progress = r.u64()?;
+        let rng_state = r.u64()?;
+        let rng_inc = r.u64()?;
+        let count = r.usize()?;
+        if count > SLOT_MASK as usize {
+            return Err(SnapshotError::Structure("packet count"));
+        }
+        // Distribute packets into the *current* partition's slabs (a packet
+        // lives in its source node's shard), compacted — the free lists
+        // restart empty. `slot_of[rank]` translates serialized flit
+        // references back to live slots.
+        for shard in &mut self.shards {
+            shard.packets.clear();
+            shard.free_slots.clear();
+        }
+        let num_nodes = self.mesh.num_nodes();
+        let mut slot_of: Vec<u32> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let p = load_packet(&mut r)?;
+            let si = self.node_shard(p.src.index());
+            let shard = &mut self.shards[si];
+            if shard.packets.len() > SLOT_MASK as usize {
+                return Err(SnapshotError::Structure("shard slab overflow"));
+            }
+            shard.packets.push(Some(p));
+            slot_of.push(encode_slot(si, shard.packets.len() - 1));
+        }
+        let remap = |canon: u32| -> Option<u32> { slot_of.get(canon as usize).copied() };
+        let vcs = self.config.vcs;
+        for shard in &mut self.shards {
+            let mut queued = 0usize;
+            for ni in &mut shard.nis {
+                let qn = r.usize()?;
+                if qn > count {
+                    return Err(SnapshotError::Structure("NI queue length"));
+                }
+                ni.queue.clear();
+                for _ in 0..qn {
+                    let canon = r.u32()?;
+                    let slot =
+                        remap(canon).ok_or(SnapshotError::Structure("queued packet reference"))?;
+                    ni.queue.push_back(slot);
+                }
+                queued += qn;
+                for c in ni.vc_credits.iter_mut() {
+                    *c = r.u32()?;
+                }
+                ni.cur_vc = load_opt_usize_below(&mut r, vcs, "NI current vc")?;
+                ni.next_seq = r.u32()?;
+                let vc_rr = r.usize()?;
+                if vc_rr >= vcs {
+                    return Err(SnapshotError::Structure("NI vc round-robin"));
+                }
+                ni.vc_rr = vc_rr;
+            }
+            shard.queued = queued;
+        }
+        for shard in &mut self.shards {
+            for router in &mut shard.routers {
+                router.load_state(&mut r, &remap)?;
+            }
+        }
+        let num_routers = self.mesh.num_routers();
+        let ports = self.mesh.ports_per_router();
+        for idx in 0..EVENT_HORIZON {
+            for shard in &mut self.shards {
+                shard.events[idx].clear();
+            }
+            let total = r.usize()?;
+            if total > 1 << 28 {
+                return Err(SnapshotError::Structure("arrival count"));
+            }
+            for _ in 0..total {
+                let target = load_link_dest(&mut r, num_routers, num_nodes)?;
+                if let LinkDest::Router { port, .. } = target {
+                    if port >= ports {
+                        return Err(SnapshotError::Structure("arrival port"));
+                    }
+                }
+                let vc = r.usize()?;
+                if vc >= vcs {
+                    return Err(SnapshotError::Structure("arrival vc"));
+                }
+                let flit = load_flit(&mut r, &remap)?;
+                let s = match target {
+                    LinkDest::Router { router, .. } => self.router_shard[router] as usize,
+                    LinkDest::Eject { node } => self.node_shard(node),
+                };
+                self.shards[s].events[idx].push(Arrival { target, vc, flit });
+            }
+        }
+        let mut active = Vec::with_capacity(num_routers);
+        for _ in 0..num_routers {
+            active.push(r.bool()?);
+        }
+        for shard in &mut self.shards {
+            let lo = shard.router_lo;
+            for (lr, a) in shard.active.iter_mut().enumerate() {
+                *a = active[lo + lr];
+            }
+        }
+        let stats = load_stats(&mut r)?;
+        for c in &mut self.codecs {
+            c.encoder.load_state(&mut r)?;
+            c.decoder.load_state(&mut r)?;
+        }
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Structure("trailing bytes"));
+        }
+        self.cycle = cycle;
+        self.next_pid = next_pid;
+        self.measuring = measuring;
+        self.last_progress = last_progress;
+        self.live_packets = count;
+        // anoc-lint: rng-site: resuming a serialized cursor, not reseeding
+        self.fault_rng = Pcg32::from_state_parts(rng_state, rng_inc);
+        self.stats = stats;
+        self.delivered.clear();
+        self.traces.clear();
+        self.tracing = false;
+        self.fatal = None;
+        Ok(())
     }
 
     /// Schedules an arrival into the ring of the shard owning the target

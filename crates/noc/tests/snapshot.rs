@@ -1,0 +1,319 @@
+//! Snapshot integration tests: save/restore must be bit-exact (byte-stable
+//! blobs, identical resumed behaviour at any shard count), stale or corrupt
+//! blobs must fail as typed errors, and a fault-injection campaign forked
+//! from a snapshot must reproduce the uninterrupted run's violation curve
+//! exactly.
+
+use anoc_compression::{DiConfig, DiDecoder, DiEncoder};
+use anoc_core::avcl::Avcl;
+use anoc_core::data::{CacheBlock, NodeId};
+use anoc_core::rng::Pcg32;
+use anoc_core::threshold::ErrorThreshold;
+use anoc_noc::{FaultPlan, NocConfig, NocSim, NodeCodec, SnapshotError};
+use proptest::prelude::*;
+
+fn baseline_sim(config: NocConfig) -> NocSim {
+    let n = config.num_nodes();
+    NocSim::new(config, (0..n).map(|_| NodeCodec::baseline()).collect())
+}
+
+/// A DI-VAXX network: the codecs carry learned dictionary state, so a round
+/// trip exercises the codec save/load hooks, not just the kernel.
+fn di_vaxx_sim(config: NocConfig, threshold: ErrorThreshold) -> NocSim {
+    let n = config.num_nodes();
+    let codecs = (0..n)
+        .map(|_| {
+            let c = DiConfig::for_nodes(n);
+            NodeCodec::new(
+                Box::new(DiEncoder::di_vaxx(c, Avcl::new(threshold))),
+                Box::new(DiDecoder::new(c)),
+            )
+        })
+        .collect();
+    NocSim::new(config, codecs)
+}
+
+/// Offers one cycle's deterministic traffic, keyed only on `(salt, cycle)`
+/// so the original and a restored simulation can be driven identically.
+fn offer_traffic(sim: &mut NocSim, salt: u64, cycle: u64) {
+    let nodes = sim.num_nodes();
+    let mut rng = Pcg32::seed_from_u64(salt ^ cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for node in 0..nodes {
+        if rng.below(100) >= 6 {
+            continue;
+        }
+        let mut d = rng.below(nodes as u32) as usize;
+        if d == node {
+            d = (d + 1) % nodes;
+        }
+        let base = rng.next_u32() as i32 & 0x00FF_FFF0;
+        let words: Vec<i32> = (0..16)
+            .map(|i| base + (rng.below(8) as i32) + i % 2)
+            .collect();
+        sim.enqueue_data(
+            NodeId(node as u16),
+            NodeId(d as u16),
+            CacheBlock::from_i32(&words),
+        );
+    }
+}
+
+/// Runs `cycles` steps of deterministic traffic, discarding deliveries.
+fn run_traffic(sim: &mut NocSim, salt: u64, from: u64, cycles: u64) {
+    for c in from..from + cycles {
+        offer_traffic(sim, salt, c);
+        sim.step();
+        sim.discard_delivered();
+    }
+}
+
+/// Renders everything a sweep cell reports, so equality here is equality of
+/// the experiment's observable output.
+fn fingerprint(sim: &NocSim) -> String {
+    let s = sim.stats();
+    let f = &s.faults;
+    format!(
+        "cyc={} pk={} dp={} fi={} fd={} ql={} nl={} bf={} enc={}/{}/{} bits={}/{} q={:.12} hist_p99={} max={} flips={} stalls={} checked={} viol={}",
+        s.cycles,
+        s.packets,
+        s.data_packets,
+        s.flits_injected,
+        s.flits_delivered,
+        s.queue_lat_sum,
+        s.net_lat_sum,
+        s.baseline_data_flits,
+        s.encode.exact_encoded,
+        s.encode.approx_encoded,
+        s.encode.raw,
+        s.encode.bits_in,
+        s.encode.bits_out,
+        s.quality.quality(),
+        s.latency_histogram.percentile(99.0),
+        s.latency_histogram.max(),
+        f.bit_flips,
+        f.port_stalls,
+        f.bound_checked_words,
+        f.bound_violations,
+    )
+}
+
+const FP: u64 = 0xA55A_1234_5678_9ABC;
+
+#[test]
+fn round_trip_is_byte_identical_and_resumes_exactly() {
+    let threshold = ErrorThreshold::from_percent(10).expect("valid");
+    let mut sim = di_vaxx_sim(NocConfig::paper_4x4_cmesh(), threshold);
+    sim.begin_measurement();
+    run_traffic(&mut sim, 1, 0, 400);
+    assert!(sim.outstanding_packets() > 0, "want packets mid-flight");
+
+    let blob = sim.save_snapshot(FP).expect("save");
+
+    // Restored state re-serializes to the identical byte sequence.
+    let mut restored = di_vaxx_sim(NocConfig::paper_4x4_cmesh(), threshold);
+    restored.restore_snapshot(&blob, FP).expect("restore");
+    let blob2 = restored.save_snapshot(FP).expect("re-save");
+    assert_eq!(
+        blob, blob2,
+        "serialize → restore → serialize must be stable"
+    );
+
+    // The restored simulation is indistinguishable from the original.
+    run_traffic(&mut sim, 1, 400, 400);
+    run_traffic(&mut restored, 1, 400, 400);
+    assert!(sim.try_drain(100_000).expect("drain original"));
+    assert!(restored.try_drain(100_000).expect("drain restored"));
+    sim.record_unfinished();
+    restored.record_unfinished();
+    assert_eq!(fingerprint(&sim), fingerprint(&restored));
+}
+
+#[test]
+fn restore_at_any_shard_count_is_bit_identical() {
+    let mut source = baseline_sim(NocConfig::mesh_3x3());
+    source.begin_measurement();
+    run_traffic(&mut source, 2, 0, 300);
+    let blob = source.save_snapshot(FP).expect("save");
+    run_traffic(&mut source, 2, 300, 300);
+    assert!(source.try_drain(100_000).expect("drain"));
+    let want = fingerprint(&source);
+
+    for shards in [1usize, 2, 3, 4] {
+        let mut sim = baseline_sim(NocConfig::mesh_3x3());
+        sim.set_shards(shards);
+        sim.restore_snapshot(&blob, FP).expect("restore");
+        run_traffic(&mut sim, 2, 300, 300);
+        assert!(sim.try_drain(100_000).expect("drain"));
+        assert_eq!(fingerprint(&sim), want, "shard count {shards} diverged");
+    }
+
+    // And the reverse direction: a sharded save restores serially.
+    let mut sharded = baseline_sim(NocConfig::mesh_3x3());
+    sharded.set_shards(3);
+    sharded.begin_measurement();
+    run_traffic(&mut sharded, 2, 0, 300);
+    let blob3 = sharded.save_snapshot(FP).expect("save sharded");
+    let mut serial = baseline_sim(NocConfig::mesh_3x3());
+    serial.restore_snapshot(&blob3, FP).expect("restore serial");
+    run_traffic(&mut serial, 2, 300, 300);
+    assert!(serial.try_drain(100_000).expect("drain"));
+    assert_eq!(fingerprint(&serial), want);
+}
+
+/// Satellite: a fault campaign forked from a snapshot must re-arm
+/// `set_fault_plan` / `set_watchdog` / `set_bound_check` *before* restoring,
+/// and then reproduce the uninterrupted run bit-exactly — including the
+/// monotonic bound-violation curve over the bit-flip rate.
+#[test]
+fn fault_active_fork_preserves_the_violation_curve() {
+    let threshold = ErrorThreshold::from_percent(10).expect("valid");
+    let watchdog = 50_000;
+    let curve: Vec<(String, String)> = [2_000u32, 50_000, 400_000]
+        .iter()
+        .map(|&ppm| {
+            let plan = FaultPlan::bit_flips(11, ppm);
+            // Uninterrupted run: warmup + measurement in one life.
+            let mut cold = baseline_sim(NocConfig::mesh_3x3());
+            cold.set_fault_plan(plan);
+            cold.set_watchdog(watchdog);
+            cold.set_bound_check(threshold);
+            cold.begin_measurement();
+            run_traffic(&mut cold, 3, 0, 250);
+            let blob = cold.save_snapshot(FP).expect("save mid-campaign");
+            run_traffic(&mut cold, 3, 250, 250);
+            cold.try_drain(100_000).expect("drain cold");
+
+            // Forked run: fresh sim, re-arm, then restore (the restored
+            // fault-RNG cursor and progress clock overwrite what arming
+            // reset — the documented ordering contract).
+            let mut warm = baseline_sim(NocConfig::mesh_3x3());
+            warm.set_fault_plan(plan);
+            warm.set_watchdog(watchdog);
+            warm.set_bound_check(threshold);
+            warm.restore_snapshot(&blob, FP).expect("restore");
+            run_traffic(&mut warm, 3, 250, 250);
+            warm.try_drain(100_000).expect("drain warm");
+            (fingerprint(&cold), fingerprint(&warm))
+        })
+        .collect();
+    for (cold, warm) in &curve {
+        assert_eq!(cold, warm);
+    }
+    // The violation curve itself is still monotone in the flip rate.
+    let viol: Vec<u64> = curve
+        .iter()
+        .map(|(c, _)| {
+            c.split_whitespace()
+                .find_map(|kv| kv.strip_prefix("viol="))
+                .and_then(|v| v.parse().ok())
+                .expect("viol field")
+        })
+        .collect();
+    assert!(viol.windows(2).all(|w| w[0] <= w[1]), "{viol:?}");
+    assert!(*viol.last().expect("nonempty") > 0, "{viol:?}");
+}
+
+#[test]
+fn stale_or_corrupt_blobs_fail_as_typed_errors() {
+    let mut sim = baseline_sim(NocConfig::mesh_3x3());
+    run_traffic(&mut sim, 4, 0, 100);
+    let blob = sim.save_snapshot(FP).expect("save");
+
+    // Truncations at every prefix of the header and a mid-body cut: all
+    // must surface as an error, never a panic or a half-restored sim.
+    for cut in [0, 4, 7, 8, 11, 12, 19, 20, blob.len() / 2, blob.len() - 1] {
+        let mut target = baseline_sim(NocConfig::mesh_3x3());
+        let err = target
+            .restore_snapshot(&blob[..cut], FP)
+            .expect_err("truncated blob accepted");
+        assert!(
+            matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
+            "cut at {cut}: {err}"
+        );
+    }
+
+    // Foreign file: wrong magic.
+    let mut bad = blob.clone();
+    bad[0] ^= 0xFF;
+    let err = baseline_sim(NocConfig::mesh_3x3())
+        .restore_snapshot(&bad, FP)
+        .expect_err("bad magic accepted");
+    assert_eq!(err, SnapshotError::BadMagic);
+
+    // Stale format: wrong version word (bytes 8..12, little-endian).
+    let mut stale = blob.clone();
+    stale[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let err = baseline_sim(NocConfig::mesh_3x3())
+        .restore_snapshot(&stale, FP)
+        .expect_err("wrong version accepted");
+    assert_eq!(err, SnapshotError::BadVersion(99));
+
+    // Different configuration: fingerprint mismatch.
+    let err = baseline_sim(NocConfig::mesh_3x3())
+        .restore_snapshot(&blob, FP ^ 1)
+        .expect_err("wrong fingerprint accepted");
+    assert_eq!(err, SnapshotError::FingerprintMismatch);
+
+    // A geometry mismatch is caught by the structural echo even when the
+    // fingerprint (wrongly) matches.
+    let err = baseline_sim(NocConfig::paper_4x4_cmesh())
+        .restore_snapshot(&blob, FP)
+        .expect_err("wrong geometry accepted");
+    assert_eq!(err, SnapshotError::Structure("network geometry"));
+
+    // Trailing garbage means the blob is not what was saved.
+    let mut padded = blob.clone();
+    padded.push(0);
+    let err = baseline_sim(NocConfig::mesh_3x3())
+        .restore_snapshot(&padded, FP)
+        .expect_err("trailing bytes accepted");
+    assert_eq!(err, SnapshotError::Structure("trailing bytes"));
+}
+
+#[test]
+fn unclean_states_refuse_to_save() {
+    // Undrained deliveries: the log is driver-facing state a restored run
+    // could not reproduce.
+    let mut sim = baseline_sim(NocConfig::mesh_3x3());
+    sim.enqueue_control(NodeId(0), NodeId(8));
+    assert!(sim.drain(500));
+    let err = sim.save_snapshot(FP).expect_err("undrained deliveries");
+    assert!(matches!(err, SnapshotError::Unclean(_)), "{err}");
+    sim.drain_delivered();
+    sim.save_snapshot(FP).expect("clean after draining");
+
+    // Tracing holds per-packet history keyed by ids a restored run reuses.
+    let mut traced = baseline_sim(NocConfig::mesh_3x3());
+    traced.enable_tracing();
+    let err = traced.save_snapshot(FP).expect_err("tracing active");
+    assert!(matches!(err, SnapshotError::Unclean(_)), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// serialize → restore → serialize is byte-identical for arbitrary
+    /// mid-flight states (same shard count), and the resumed run matches.
+    #[test]
+    fn round_trip_byte_identity(
+        salt in 0u64..1_000_000,
+        warm in 1u64..300,
+        shards in 1usize..4,
+    ) {
+        let mut sim = baseline_sim(NocConfig::mesh_3x3());
+        sim.set_shards(shards);
+        sim.begin_measurement();
+        run_traffic(&mut sim, salt, 0, warm);
+        let blob = sim.save_snapshot(salt).expect("save");
+        let mut restored = baseline_sim(NocConfig::mesh_3x3());
+        restored.set_shards(shards);
+        restored.restore_snapshot(&blob, salt).expect("restore");
+        let blob2 = restored.save_snapshot(salt).expect("re-save");
+        prop_assert_eq!(&blob, &blob2);
+        run_traffic(&mut sim, salt, warm, 100);
+        run_traffic(&mut restored, salt, warm, 100);
+        prop_assert!(sim.try_drain(100_000).expect("drain"));
+        prop_assert!(restored.try_drain(100_000).expect("drain"));
+        prop_assert_eq!(fingerprint(&sim), fingerprint(&restored));
+    }
+}

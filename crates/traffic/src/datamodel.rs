@@ -253,6 +253,27 @@ impl DataModel {
         &self.profile
     }
 
+    /// Serializes mid-run state for a simulator snapshot. The hot-value
+    /// tables are a pure function of `(profile, seed)` and are rebuilt by
+    /// the constructor, so only the RNG cursor travels.
+    pub fn save_state(&self, w: &mut anoc_core::snap::SnapWriter) {
+        let (state, inc) = self.rng.state_parts();
+        w.u64(state);
+        w.u64(inc);
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// model built with the same `(profile, seed)`.
+    pub fn load_state(
+        &mut self,
+        r: &mut anoc_core::snap::SnapReader<'_>,
+    ) -> Result<(), anoc_core::snap::SnapError> {
+        let state = r.u64()?;
+        let inc = r.u64()?;
+        self.rng = Pcg32::from_state_parts(state, inc);
+        Ok(())
+    }
+
     /// Generates the next cache block. `approximable` marks the metadata
     /// flag (the caller applies the experiment's approximable-packet ratio).
     pub fn next_block(&mut self, approximable: bool) -> CacheBlock {

@@ -14,6 +14,7 @@
 
 use anoc_core::data::{CacheBlock, NodeId};
 use anoc_core::rng::Pcg32;
+use anoc_core::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::datamodel::{Benchmark, DataModel};
 use crate::pattern::DestPattern;
@@ -37,6 +38,21 @@ pub trait TrafficSource {
 
     /// Number of nodes this source drives.
     fn num_nodes(&self) -> usize;
+
+    /// Whether this source can be snapshotted mid-run. Sources that answer
+    /// `false` force the harness onto the cold (replayed-warmup) path.
+    fn snapshot_supported(&self) -> bool {
+        false
+    }
+
+    /// Serializes mid-run state for a simulator snapshot. Only meaningful
+    /// when [`snapshot_supported`](Self::snapshot_supported) is true.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// Benchmark-shaped traffic: Bernoulli packet generation per node at the
@@ -114,6 +130,30 @@ impl TrafficSource for BenchmarkTraffic {
 
     fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    fn snapshot_supported(&self) -> bool {
+        true
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        let (state, inc) = self.rng.state_parts();
+        w.u64(state);
+        w.u64(inc);
+        self.model.save_state(w);
+        w.u64(self.phase.0);
+        w.bool(self.phase.1);
+        w.f64_bits(self.load_scale);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let state = r.u64()?;
+        let inc = r.u64()?;
+        self.rng = Pcg32::from_state_parts(state, inc);
+        self.model.load_state(r)?;
+        self.phase = (r.u64()?, r.bool()?);
+        self.load_scale = r.f64_bits()?;
+        Ok(())
     }
 }
 
@@ -289,5 +329,42 @@ mod tests {
         for i in &out {
             assert_eq!(i.dest.0, (!i.src.0) & 15);
         }
+    }
+
+    #[test]
+    fn benchmark_traffic_snapshot_resumes_exactly() {
+        let mut a = BenchmarkTraffic::new(Benchmark::Fluidanimate, 16, 0.75, 42);
+        let mut scratch = Vec::new();
+        for c in 0..500 {
+            a.tick(c, &mut scratch);
+        }
+        assert!(a.snapshot_supported());
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // Restore into a freshly built source (same constructor arguments).
+        let mut b = BenchmarkTraffic::new(Benchmark::Fluidanimate, 16, 0.75, 42);
+        let mut r = SnapReader::new(&bytes);
+        b.load_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        for c in 500..1000 {
+            let mut ia = Vec::new();
+            let mut ib = Vec::new();
+            a.tick(c, &mut ia);
+            b.tick(c, &mut ib);
+            assert_eq!(ia.len(), ib.len(), "cycle {c}");
+            for (x, y) in ia.iter().zip(&ib) {
+                assert_eq!(x.src, y.src);
+                assert_eq!(x.dest, y.dest);
+                assert_eq!(x.payload, y.payload);
+            }
+        }
+        // Truncated state is a typed error.
+        let mut short = SnapReader::new(&bytes[..4]);
+        assert!(b.load_state(&mut short).is_err());
+        // Synthetic traffic declines snapshots (harness falls back to cold).
+        let pool = DataPool::from_benchmark(Benchmark::Streamcluster, 16, 6);
+        let s = SyntheticTraffic::new(DestPattern::BitComplement, 16, pool, 0.2, 0.25, 0.75, 7);
+        assert!(!s.snapshot_supported());
     }
 }
