@@ -346,7 +346,7 @@ impl ExecContext {
 pub fn config_key(c: &SystemConfig) -> String {
     let n = &c.noc;
     format!(
-        "noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} thr={} ar={:016x} warm={} sim={} drain={} flt={{{}}} wd={}",
+        "noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} thr={} ar={:016x} warm={} sim={} drain={} flt={{{}}} lp={{{}}} qos={{{}}} wd={}",
         n.width,
         n.height,
         n.concentration,
@@ -362,6 +362,8 @@ pub fn config_key(c: &SystemConfig) -> String {
         c.sim_cycles,
         c.drain_cycles,
         c.faults.key_fragment(),
+        c.loss.key_fragment(),
+        c.qos.key_fragment(),
         c.watchdog_horizon,
     )
 }
@@ -405,7 +407,7 @@ pub fn warmup_key(
 ) -> String {
     let n = &config.noc;
     format!(
-        "anoc-warmup v1 kind={kind} noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} ar={:016x} warm={} flt={{{}}} wd={} mech={mechanism} work={workload} seed={seed}",
+        "anoc-warmup v1 kind={kind} noc={}x{}x{} vcs={} buf={} flit={} hide={} vao={} nib={} ar={:016x} warm={} flt={{{}}} lp={{{}}} qos={{{}}} wd={} mech={mechanism} work={workload} seed={seed}",
         n.width,
         n.height,
         n.concentration,
@@ -418,6 +420,8 @@ pub fn warmup_key(
         config.approx_ratio.to_bits(),
         config.warmup_cycles,
         config.faults.key_fragment(),
+        config.loss.key_fragment(),
+        config.qos.key_fragment(),
         config.watchdog_horizon,
     )
 }
@@ -563,6 +567,9 @@ mod tests {
             base.clone().with_approx_ratio(0.5),
             base.clone()
                 .with_faults(anoc_noc::FaultPlan::bit_flips(1, 100)),
+            base.clone().with_loss(anoc_noc::LossPlan::uniform(1, 100)),
+            base.clone()
+                .with_qos(anoc_core::control::QosSpec::paper(990_000)),
             base.clone().with_watchdog(0),
             SystemConfig::full_system(),
         ];
@@ -617,6 +624,17 @@ mod tests {
                 .with_faults(anoc_noc::FaultPlan::bit_flips(1, 100)))
         );
         assert_ne!(k0, k(&base.clone().with_watchdog(0)));
+        // Loss and QoS shape warmup traffic and controller training.
+        assert_ne!(
+            k0,
+            k(&base.clone().with_loss(anoc_noc::LossPlan::uniform(1, 100)))
+        );
+        assert_ne!(
+            k0,
+            k(&base
+                .clone()
+                .with_qos(anoc_core::control::QosSpec::paper(990_000)))
+        );
         assert_ne!(k0, warmup_key("bench", &base, "FP-COMP", "ssca2", 42));
         assert_ne!(k0, warmup_key("bench", &base, "FP-VAXX", "x264", 42));
         assert_ne!(k0, warmup_key("bench", &base, "FP-VAXX", "ssca2", 43));

@@ -40,7 +40,9 @@ const USAGE: &str = "usage: anoc run <TARGET> [OPTIONS]
 targets:
   table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 extensions
   faults      fault-injection resilience sweep (latency/quality vs flip rate)
+  lossy       lossy-link degradation sweep (quality/violations vs loss rate)
   lz          LZ-VAXX study: threshold x workload vs DI-VAXX/FP-VAXX
+  qos         per-flow QoS control loop vs worst-case-safe static threshold
   scale       kernel scaling sweep: 8x8 -> 32x32 cmesh, serial vs sharded
   all         every table and figure in order (excludes scale)
   ablations   the sensitivity studies: fig13, fig14 and the extension study
@@ -59,7 +61,9 @@ options:
                 killed campaign can restart with --resume (default 0 = off)
   --resume      restart killed cells from their last checkpoint
   --csv         emit CSV instead of a text table
-  --json        emit JSON instead of a text table (lz target only)
+  --json        emit JSON instead of a text table (lz and qos targets)
+  --mechs A,B   mechanism columns for the matrix figures (fig9/10/11/15),
+                e.g. --mechs Baseline,FP-VAXX,LZ-VAXX (default: the paper's 5)
   --keep-going  complete campaigns past failed cells (exit 3 if any failed)
   --out PATH    output path (fig17 image directory, capture/replay trace)
 
@@ -74,7 +78,7 @@ lint options:
                           (repeatable)";
 
 /// All figure/table targets of `anoc run`, in `all` order.
-const TARGETS: [&str; 13] = [
+const TARGETS: [&str; 15] = [
     "table1",
     "fig9",
     "fig10",
@@ -87,6 +91,8 @@ const TARGETS: [&str; 13] = [
     "fig17",
     "extensions",
     "faults",
+    "lossy",
+    "qos",
     "lz",
 ];
 
@@ -107,6 +113,7 @@ struct Opts {
     json: bool,
     keep_going: bool,
     out: Option<String>,
+    mechs: Option<Vec<crate::config::Mechanism>>,
 }
 
 impl Default for Opts {
@@ -124,8 +131,31 @@ impl Default for Opts {
             json: false,
             keep_going: false,
             out: None,
+            mechs: None,
         }
     }
+}
+
+/// Parses a `--mechs` comma list into mechanism columns, accepting both the
+/// canonical names (`FP-VAXX`) and their lowercase spellings (`fp-vaxx`).
+fn parse_mechs(list: &str) -> Result<Vec<crate::config::Mechanism>, String> {
+    let mechs: Vec<_> = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            crate::config::Mechanism::from_name(s)
+                .or_else(|| crate::config::Mechanism::from_name(&s.to_uppercase()))
+                .or_else(|| match s.to_lowercase().as_str() {
+                    "baseline" => Some(crate::config::Mechanism::Baseline),
+                    _ => None,
+                })
+                .ok_or_else(|| format!("unknown mechanism `{s}` in --mechs"))
+        })
+        .collect::<Result<_, _>>()?;
+    if mechs.is_empty() {
+        return Err("--mechs needs at least one mechanism".into());
+    }
+    Ok(mechs)
 }
 
 #[derive(Debug, Clone)]
@@ -239,6 +269,10 @@ fn parse(argv: &[String]) -> Result<Command, String> {
             "--json" => opts.json = true,
             "--keep-going" => opts.keep_going = true,
             "--out" => opts.out = Some(it.next().ok_or("--out needs a path")?.to_string()),
+            "--mechs" => {
+                let list = it.next().ok_or("--mechs needs a comma-separated list")?;
+                opts.mechs = Some(parse_mechs(list)?);
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -470,6 +504,36 @@ fn run_target(target: &str, opts: &Opts) -> Result<(), String> {
             }
             Ok(())
         }
+        "lossy" => {
+            let cfg = config(opts, 15_000);
+            let rates: [u32; 5] = [0, 100, 1_000, 10_000, 100_000];
+            // Each approximation-threshold percent adds 50 ppm per hop on
+            // top of the base rate: heavily approximated traffic rides the
+            // cheaper, lossier signaling.
+            let (points, failures) =
+                experiments::lossy_sweep(Benchmark::Blackscholes, &rates, 50, &cfg, cfg.seed);
+            if opts.csv {
+                print!("{}", experiments::lossy_csv(&points));
+            } else {
+                print!(
+                    "{}",
+                    experiments::render_lossy(Benchmark::Blackscholes, &points, &failures)
+                );
+            }
+            Ok(())
+        }
+        "qos" => {
+            let cfg = config(opts, 15_000);
+            let rows = experiments::qos_study(&cfg, cfg.seed, &[5, 10, 20]);
+            if opts.json {
+                print!("{}", experiments::qos_json(&rows));
+            } else if opts.csv {
+                print!("{}", experiments::qos_csv(&rows));
+            } else {
+                print!("{}", experiments::render_qos(&rows));
+            }
+            Ok(())
+        }
         "lz" => {
             let cfg = config(opts, 15_000);
             let rows = experiments::lz_study(&cfg, cfg.seed, &[5, 10, 20], &Benchmark::ALL);
@@ -496,7 +560,10 @@ fn run_target(target: &str, opts: &Opts) -> Result<(), String> {
 
 fn matrix_figure(target: &str, opts: &Opts) -> Result<(), String> {
     let cfg = config(opts, 50_000);
-    let matrix = BenchmarkMatrix::run(&cfg, cfg.seed);
+    let matrix = match &opts.mechs {
+        Some(mechs) => BenchmarkMatrix::run_with(&cfg, cfg.seed, mechs),
+        None => BenchmarkMatrix::run(&cfg, cfg.seed),
+    };
     match (target, opts.csv) {
         ("fig9", false) => print!("{}", experiments::render_fig9(&experiments::fig9(&matrix))),
         ("fig9", true) => print!("{}", experiments::fig9_csv(&experiments::fig9(&matrix))),
@@ -781,6 +848,30 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse_strs(&["run", "scale", "--shards"]).is_err());
+    }
+
+    #[test]
+    fn qos_lossy_targets_and_mechs_flag_parse() {
+        use crate::config::Mechanism;
+        for t in ["qos", "lossy"] {
+            match parse_strs(&["run", t, "--json"]).expect("parse") {
+                Command::Run { target, opts } => {
+                    assert_eq!(target, t);
+                    assert!(opts.json);
+                }
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+        match parse_strs(&["run", "fig9", "--mechs", "Baseline,fp-vaxx,LZ-VAXX"]).expect("parse") {
+            Command::Run { opts, .. } => assert_eq!(
+                opts.mechs.as_deref(),
+                Some(&[Mechanism::Baseline, Mechanism::FpVaxx, Mechanism::LzVaxx][..])
+            ),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_strs(&["run", "fig9", "--mechs"]).is_err());
+        assert!(parse_strs(&["run", "fig9", "--mechs", "warp-drive"]).is_err());
+        assert!(parse_strs(&["run", "fig9", "--mechs", ","]).is_err());
     }
 
     #[test]

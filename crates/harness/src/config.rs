@@ -4,8 +4,9 @@ use anoc_compression::di::{DiConfig, DiDecoder, DiEncoder};
 use anoc_compression::fp::{FpDecoder, FpEncoder};
 use anoc_compression::lz::{LzConfig, LzDecoder, LzEncoder};
 use anoc_core::avcl::Avcl;
+use anoc_core::control::QosSpec;
 use anoc_core::threshold::ErrorThreshold;
-use anoc_noc::{FaultPlan, NocConfig, NodeCodec};
+use anoc_noc::{FaultPlan, LossPlan, NocConfig, NodeCodec};
 
 /// The five mechanisms compared throughout the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,6 +160,12 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Deterministic fault-injection plan (inert by default).
     pub faults: FaultPlan,
+    /// Deterministic lossy-link plan (inert by default).
+    pub loss: LossPlan,
+    /// Per-flow QoS control-loop spec (off by default). When active, the
+    /// measurement window runs under runtime-controlled per-flow thresholds
+    /// instead of the static `threshold_percent`.
+    pub qos: QosSpec,
     /// Watchdog no-forward-progress horizon in cycles (0 disables).
     pub watchdog_horizon: u64,
     /// Worker shards for the parallel cycle kernel (1 = serial). Sharded
@@ -179,6 +186,8 @@ impl SystemConfig {
             drain_cycles: 50_000,
             seed: 42,
             faults: FaultPlan::none(),
+            loss: LossPlan::none(),
+            qos: QosSpec::off(),
             watchdog_horizon: 20_000,
             shards: 1,
         }
@@ -229,6 +238,20 @@ impl SystemConfig {
         self
     }
 
+    /// Installs a lossy-link plan (see [`LossPlan`]).
+    #[must_use]
+    pub fn with_loss(mut self, loss: LossPlan) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Arms the per-flow QoS control loop (see [`QosSpec`]).
+    #[must_use]
+    pub fn with_qos(mut self, qos: QosSpec) -> Self {
+        self.qos = qos;
+        self
+    }
+
     /// Overrides the watchdog no-forward-progress horizon (0 disables).
     #[must_use]
     pub fn with_watchdog(mut self, horizon: u64) -> Self {
@@ -251,6 +274,19 @@ impl SystemConfig {
             ErrorThreshold::exact()
         } else {
             ErrorThreshold::from_percent(self.threshold_percent).expect("validated percentage")
+        }
+    }
+
+    /// The threshold the end-to-end bound checker arms at: the static
+    /// threshold normally, the QoS ceiling when the per-flow control loop
+    /// owns the encoder thresholds (no flow can ever exceed its controller's
+    /// `max_percent`, so a delivered word outside it still means a codec
+    /// bug, not a control decision).
+    pub fn bound_threshold(&self) -> ErrorThreshold {
+        if self.qos.is_active() && self.qos.max_percent > 0 {
+            ErrorThreshold::from_percent(self.qos.max_percent).expect("validated percentage")
+        } else {
+            self.threshold()
         }
     }
 

@@ -7,7 +7,7 @@
 //! records the shape comparison.
 
 use anoc_exec::{CellFailure, JobSpec};
-use anoc_noc::FaultPlan;
+use anoc_noc::{FaultPlan, LossPlan};
 use anoc_traffic::{Benchmark, DataPool, DestPattern, SyntheticTraffic};
 
 use crate::campaign::{benchmark_job, cell_key, checked_benchmark_job, context, pattern_tag};
@@ -19,8 +19,12 @@ pub use crate::runner::{run_benchmark, run_with_source, RunResult};
 /// and 15.
 #[derive(Debug, Clone)]
 pub struct BenchmarkMatrix {
-    /// Per-benchmark results, one per mechanism in [`Mechanism::ALL`] order.
+    /// Per-benchmark results, one per mechanism in [`BenchmarkMatrix::mechs`]
+    /// order.
     pub cells: Vec<(Benchmark, Vec<RunResult>)>,
+    /// The mechanism columns of the matrix ([`Mechanism::ALL`] by default;
+    /// `--mechs` can extend the comparison, e.g. with LZ-VAXX).
+    pub mechs: Vec<Mechanism>,
 }
 
 impl BenchmarkMatrix {
@@ -28,20 +32,28 @@ impl BenchmarkMatrix {
     /// results are merged in plan order, bit-identical to the serial loop
     /// this replaces.
     pub fn run(config: &SystemConfig, seed: u64) -> Self {
+        Self::run_with(config, seed, &Mechanism::ALL)
+    }
+
+    /// Like [`run`](Self::run) with an explicit mechanism list — the hook
+    /// behind `--mechs`, letting the matrix figures carry extra curves
+    /// (LZ-VAXX as a sixth bar) next to the paper's five. The first
+    /// mechanism anchors any baseline-normalized figure, so lists should
+    /// start with [`Mechanism::Baseline`].
+    pub fn run_with(config: &SystemConfig, seed: u64, mechs: &[Mechanism]) -> Self {
         let jobs = Benchmark::ALL
             .iter()
-            .flat_map(|b| {
-                Mechanism::ALL
-                    .iter()
-                    .map(|m| benchmark_job(*b, *m, config, seed))
-            })
+            .flat_map(|b| mechs.iter().map(|m| benchmark_job(*b, *m, config, seed)))
             .collect();
         let mut results = context().run("matrix", jobs).into_iter();
         let cells = Benchmark::ALL
             .iter()
-            .map(|b| (*b, results.by_ref().take(Mechanism::ALL.len()).collect()))
+            .map(|b| (*b, results.by_ref().take(mechs.len()).collect()))
             .collect();
-        BenchmarkMatrix { cells }
+        BenchmarkMatrix {
+            cells,
+            mechs: mechs.to_vec(),
+        }
     }
 
     /// The result for one (benchmark, mechanism) cell.
@@ -51,7 +63,8 @@ impl BenchmarkMatrix {
             .iter()
             .find(|(b, _)| *b == benchmark)
             .expect("benchmark present");
-        let idx = Mechanism::ALL
+        let idx = self
+            .mechs
             .iter()
             .position(|m| *m == mechanism)
             .expect("mechanism present");
@@ -543,6 +556,418 @@ pub fn faults_csv(points: &[(u32, Option<FaultCurvePoint>)]) -> String {
             out.push_str(&format!("{ppm},,,,,\n"));
         }
     }
+    out
+}
+
+/// One point of the lossy-link degradation sweep (`anoc run lossy`):
+/// FP-VAXX under an increasing per-hop word-loss rate, with the loss rate
+/// additionally scaled by each packet's approximation level (LORAX-style:
+/// aggressively approximated traffic rides the cheaper, lossier signaling).
+#[derive(Debug, Clone, Copy)]
+pub struct LossCurvePoint {
+    /// Base per-hop loss rate in erasures per million traversals.
+    pub loss_ppm: u32,
+    /// Average end-to-end packet latency in cycles.
+    pub avg_latency: f64,
+    /// Data value quality (1 − mean relative word error).
+    pub quality: f64,
+    /// Words the lossy links actually erased.
+    pub words_lost: u64,
+    /// Delivered words audited by the end-to-end bound checker.
+    pub bound_checked_words: u64,
+    /// Audited words whose error exceeded the configured threshold.
+    pub bound_violations: u64,
+}
+
+/// The lossy-link degradation sweep: runs `benchmark` under FP-VAXX at each
+/// base loss rate (each nonzero rate also scaled by `approx_scale_ppm` per
+/// approximation-threshold percent), through the fault-tolerant campaign
+/// path. Rate 0 installs an inert plan and is bit-identical to a healthy
+/// run: violations must be 0 there, and the violation count is
+/// non-decreasing in the loss rate.
+pub fn lossy_sweep(
+    benchmark: Benchmark,
+    rates_ppm: &[u32],
+    approx_scale_ppm: u32,
+    config: &SystemConfig,
+    seed: u64,
+) -> (Vec<(u32, Option<LossCurvePoint>)>, Vec<CellFailure>) {
+    let jobs = rates_ppm
+        .iter()
+        .map(|&ppm| {
+            let plan = if ppm == 0 {
+                LossPlan::none()
+            } else {
+                LossPlan::scaled(seed, ppm, approx_scale_ppm)
+            };
+            let cfg = config.clone().with_loss(plan);
+            checked_benchmark_job(benchmark, Mechanism::FpVaxx, &cfg, seed)
+        })
+        .collect();
+    let (results, failures, _) = context().run_checked("lossy", jobs);
+    let points = rates_ppm
+        .iter()
+        .zip(results)
+        .map(|(&ppm, slot)| {
+            let point = slot.map(|r| LossCurvePoint {
+                loss_ppm: ppm,
+                avg_latency: r.avg_packet_latency(),
+                quality: r.data_quality(),
+                words_lost: r.stats.faults.words_lost,
+                bound_checked_words: r.stats.faults.bound_checked_words,
+                bound_violations: r.stats.faults.bound_violations,
+            });
+            (ppm, point)
+        })
+        .collect();
+    (points, failures)
+}
+
+/// Renders the lossy-link sweep as a text table, failed cells included.
+pub fn render_lossy(
+    benchmark: Benchmark,
+    points: &[(u32, Option<LossCurvePoint>)],
+    failures: &[CellFailure],
+) -> String {
+    let mut out = format!(
+        "Lossy-link sweep: {} / FP-VAXX\nloss_ppm    latency   quality  words_lost    checked  violations\n",
+        benchmark.name()
+    );
+    for (ppm, point) in points {
+        match point {
+            Some(p) => out.push_str(&format!(
+                "{:>8} {:>10.2} {:>9.4} {:>11} {:>10} {:>11}\n",
+                ppm,
+                p.avg_latency,
+                p.quality,
+                p.words_lost,
+                p.bound_checked_words,
+                p.bound_violations,
+            )),
+            None => out.push_str(&format!("{ppm:>8}     failed (see below)\n")),
+        }
+    }
+    for f in failures {
+        out.push_str(&format!("failed: {f}\n"));
+    }
+    out
+}
+
+/// CSV form of the lossy-link sweep (completed points only).
+pub fn lossy_csv(points: &[(u32, Option<LossCurvePoint>)]) -> String {
+    let mut out = String::from(
+        "loss_ppm,avg_latency,quality,words_lost,bound_checked_words,bound_violations\n",
+    );
+    for (ppm, point) in points {
+        if let Some(p) = point {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                ppm,
+                p.avg_latency,
+                p.quality,
+                p.words_lost,
+                p.bound_checked_words,
+                p.bound_violations,
+            ));
+        } else {
+            out.push_str(&format!("{ppm},,,,,\n"));
+        }
+    }
+    out
+}
+
+/// One row of the QoS campaign (`anoc run qos`): one application kernel at
+/// one output-error budget, comparing the runtime per-flow control loop
+/// against the best *worst-case-safe* static threshold.
+#[derive(Debug, Clone)]
+pub struct QosStudyRow {
+    /// Application kernel name (fig16/fig17 mini-kernels).
+    pub kernel: &'static str,
+    /// The benchmark whose traffic profile drives the network cell.
+    pub benchmark: Benchmark,
+    /// Application output-error budget in percent.
+    pub budget_percent: u32,
+    /// Threshold the app-level AIMD controller converged to.
+    pub converged_percent: u32,
+    /// Realized kernel output error at the converged threshold — the
+    /// quality-within-budget check: must be ≤ `budget_percent / 100`.
+    pub realized_error: f64,
+    /// Largest static threshold whose *worst-case* output error (every
+    /// approximable word off by the full threshold) still meets the budget —
+    /// what an offline configuration must pick to guarantee the budget.
+    pub static_percent: u32,
+    /// Realized kernel output error at that static threshold.
+    pub static_error: f64,
+    /// Network compression ratio delivered by the per-flow QoS run.
+    pub qos_compression: f64,
+    /// Network compression ratio of the static-threshold run.
+    pub static_compression: f64,
+    /// Average packet latency of the QoS run (cycles).
+    pub qos_latency: f64,
+    /// Average packet latency of the static run (cycles).
+    pub static_latency: f64,
+    /// Delivered data quality of the QoS run's measurement window.
+    pub qos_quality: f64,
+    /// End-to-end bound violations in the QoS run (must be 0: no flow may
+    /// approximate past the spec ceiling).
+    pub qos_violations: u64,
+}
+
+impl QosStudyRow {
+    /// Whether the realized output error landed within the budget.
+    pub fn within_budget(&self) -> bool {
+        self.realized_error <= f64::from(self.budget_percent) / 100.0 + 1e-9
+    }
+
+    /// Whether the QoS run delivered at least the static run's compression.
+    pub fn beats_static(&self) -> bool {
+        self.qos_compression >= self.static_compression
+    }
+}
+
+/// The QoS campaign: for every fig16/17 mini-kernel (paired with its
+/// benchmark traffic profile) and every output-error budget,
+///
+/// 1. converge an app-level AIMD controller ([`QualityController`]) on the
+///    kernel's realized output error — epochs of kernel evaluation feeding
+///    `observe_epoch` until the threshold stabilizes;
+/// 2. find the largest *worst-case-safe* static threshold: the offline
+///    alternative must assume every approximable word errs by the full
+///    threshold ([`AdversarialTransport`]), which is exactly the headroom a
+///    runtime controller can harvest and a static pick cannot;
+/// 3. run the network under the per-flow QoS control plane
+///    ([`QosSpec::paper`] at the budget's quality floor) and under the
+///    static threshold, and compare delivered compression.
+///
+/// [`QualityController`]: anoc_core::control::QualityController
+/// [`QosSpec::paper`]: anoc_core::control::QosSpec::paper
+/// [`AdversarialTransport`]: anoc_apps::transport::AdversarialTransport
+pub fn qos_study(config: &SystemConfig, seed: u64, budgets: &[u32]) -> Vec<QosStudyRow> {
+    use anoc_apps::transport::{AdversarialTransport, ApproxTransport, PreciseTransport};
+    use anoc_core::control::{QosSpec, QualityController};
+    use anoc_core::threshold::ErrorThreshold;
+
+    let kernels = anoc_apps::default_kernels();
+    // Application side first (cheap, this thread): per (kernel, budget),
+    // converge the app-level controller and find the worst-case-safe static
+    // threshold. The static percent feeds the network job below.
+    struct AppSide {
+        converged_percent: u32,
+        realized_error: f64,
+        static_percent: u32,
+        static_error: f64,
+    }
+    let mut app: Vec<AppSide> = Vec::new();
+    for (kernel, _) in kernels.iter().zip(Benchmark::ALL) {
+        let precise = kernel.run(&mut PreciseTransport);
+        for &budget in budgets {
+            let target = 1.0 - f64::from(budget) / 100.0;
+            let error_at = |percent: u32| -> f64 {
+                if percent == 0 {
+                    return 0.0;
+                }
+                let t = ErrorThreshold::from_percent(percent).expect("valid percent");
+                let out = kernel.run(&mut ApproxTransport::fp_vaxx(t));
+                kernel.output_error(&precise, &out)
+            };
+            // 1. App-level convergence: epochs of kernel evaluation, AIMD on
+            // the realized output quality. Converged when one full epoch
+            // leaves the threshold unchanged (bounded walk: the percent
+            // range is 1..=20 and AIMD moves monotonically between limit
+            // points, so 16 epochs is generous).
+            let mut ctl = QualityController::new(target.max(1e-6), 10, 1, 20);
+            let mut percent = ctl.percent();
+            let mut realized = error_at(percent);
+            for _ in 0..16 {
+                ctl.observe_epoch(1.0 - realized, 1, 0);
+                if ctl.percent() == percent {
+                    break;
+                }
+                percent = ctl.percent();
+                realized = error_at(percent);
+            }
+            // 2. The offline pick: largest threshold whose worst-case output
+            // error still meets the budget.
+            let worst_at = |percent: u32| -> f64 {
+                let t = ErrorThreshold::from_percent(percent).expect("valid percent");
+                let out = kernel.run(&mut AdversarialTransport::new(t));
+                kernel.output_error(&precise, &out)
+            };
+            let static_percent = (1..=20u32)
+                .rev()
+                .find(|&p| worst_at(p) <= f64::from(budget) / 100.0 + 1e-9)
+                .unwrap_or(0);
+            let static_error = error_at(static_percent);
+            app.push(AppSide {
+                converged_percent: percent,
+                realized_error: realized,
+                static_percent,
+                static_error,
+            });
+        }
+    }
+    // Network side: one per-flow QoS cell plus one static cell per row, as
+    // one parallel campaign.
+    let mut jobs = Vec::new();
+    let mut idx = 0usize;
+    for (_, benchmark) in kernels.iter().zip(Benchmark::ALL) {
+        for &budget in budgets {
+            let floor_ppm = 1_000_000u32.saturating_sub(budget.saturating_mul(10_000));
+            // Two study-scale adjustments to the paper spec: the per-flow
+            // anti-windup floor (64 words/epoch) is sized for long
+            // production runs and would hold sparse flows at their initial
+            // threshold forever at campaign scale, and the start is made
+            // optimistic (begin at the ceiling, tighten on violation) so a
+            // flow whose first packet arrives mid-measurement is not
+            // permanently behind the static ladder it is compared against.
+            let base = QosSpec::paper(floor_ppm);
+            let spec = QosSpec {
+                min_words: 1,
+                initial_percent: base.max_percent,
+                ..base
+            };
+            let qos_cfg = config.clone().with_qos(spec);
+            jobs.push(benchmark_job(benchmark, Mechanism::FpVaxx, &qos_cfg, seed));
+            let static_cfg = config.clone().with_threshold(app[idx].static_percent);
+            jobs.push(benchmark_job(
+                benchmark,
+                Mechanism::FpVaxx,
+                &static_cfg,
+                seed,
+            ));
+            idx += 1;
+        }
+    }
+    let mut results = context().run("qos", jobs).into_iter();
+    let mut rows = Vec::new();
+    let mut idx = 0usize;
+    for (kernel, benchmark) in kernels.iter().zip(Benchmark::ALL) {
+        for &budget in budgets {
+            let a = &app[idx];
+            idx += 1;
+            let qos_run = results.next().expect("qos cell");
+            let static_run = results.next().expect("static cell");
+            rows.push(QosStudyRow {
+                kernel: kernel.name(),
+                benchmark,
+                budget_percent: budget,
+                converged_percent: a.converged_percent,
+                realized_error: a.realized_error,
+                static_percent: a.static_percent,
+                static_error: a.static_error,
+                qos_compression: qos_run.stats.encode.compression_ratio(),
+                static_compression: static_run.stats.encode.compression_ratio(),
+                qos_latency: qos_run.avg_packet_latency(),
+                static_latency: static_run.avg_packet_latency(),
+                qos_quality: qos_run.data_quality(),
+                qos_violations: qos_run.stats.faults.bound_violations,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the QoS campaign as a text table with a per-budget summary of
+/// budget compliance and the QoS-vs-static compression score.
+pub fn render_qos(rows: &[QosStudyRow]) -> String {
+    let mut out = String::from(
+        "Per-flow QoS campaign: runtime control loop vs worst-case-safe static threshold\n\
+         kernel          budget%  conv%  realized_err  static%  static_err  qos_comp  static_comp  qos_lat  quality  in_budget\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>7} {:>6} {:>13.4} {:>8} {:>11.4} {:>9.3} {:>12.3} {:>8.2} {:>8.4} {:>10}\n",
+            r.kernel,
+            r.budget_percent,
+            r.converged_percent,
+            r.realized_error,
+            r.static_percent,
+            r.static_error,
+            r.qos_compression,
+            r.static_compression,
+            r.qos_latency,
+            r.qos_quality,
+            if r.within_budget() { "yes" } else { "NO" },
+        ));
+    }
+    let mut budgets: Vec<u32> = rows.iter().map(|r| r.budget_percent).collect();
+    budgets.sort_unstable();
+    budgets.dedup();
+    for b in budgets {
+        let of_budget: Vec<&QosStudyRow> = rows.iter().filter(|r| r.budget_percent == b).collect();
+        let within = of_budget.iter().filter(|r| r.within_budget()).count();
+        let beats = of_budget.iter().filter(|r| r.beats_static()).count();
+        out.push_str(&format!(
+            "summary: at {b}% budget, {within}/{} apps within budget; QoS compression >= static on {beats}/{}\n",
+            of_budget.len(),
+            of_budget.len(),
+        ));
+    }
+    out
+}
+
+/// Serialises the QoS campaign as CSV.
+pub fn qos_csv(rows: &[QosStudyRow]) -> String {
+    let mut out = String::from(
+        "kernel,benchmark,budget_percent,converged_percent,realized_error,static_percent,static_error,qos_compression,static_compression,qos_latency,static_latency,qos_quality,qos_violations,within_budget,beats_static\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{},{:.6},{:.6},{:.6},{:.4},{:.4},{:.6},{},{},{}\n",
+            r.kernel,
+            r.benchmark.name(),
+            r.budget_percent,
+            r.converged_percent,
+            r.realized_error,
+            r.static_percent,
+            r.static_error,
+            r.qos_compression,
+            r.static_compression,
+            r.qos_latency,
+            r.static_latency,
+            r.qos_quality,
+            r.qos_violations,
+            r.within_budget(),
+            r.beats_static(),
+        ));
+    }
+    out
+}
+
+/// Serialises the QoS campaign as JSON (schema documented in
+/// EXPERIMENTS.md): `{"study":"qos","rows":[{...}, ...]}`.
+pub fn qos_json(rows: &[QosStudyRow]) -> String {
+    let mut out = String::from("{\"study\":\"qos\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"kernel\":\"{}\",\"benchmark\":\"{}\",\"budget_percent\":{},\
+             \"converged_percent\":{},\"realized_error\":{:.6},\
+             \"static_percent\":{},\"static_error\":{:.6},\
+             \"qos_compression\":{:.6},\"static_compression\":{:.6},\
+             \"qos_latency\":{:.4},\"static_latency\":{:.4},\
+             \"qos_quality\":{:.6},\"qos_violations\":{},\
+             \"within_budget\":{},\"beats_static\":{}}}",
+            r.kernel,
+            r.benchmark.name(),
+            r.budget_percent,
+            r.converged_percent,
+            r.realized_error,
+            r.static_percent,
+            r.static_error,
+            r.qos_compression,
+            r.static_compression,
+            r.qos_latency,
+            r.static_latency,
+            r.qos_quality,
+            r.qos_violations,
+            r.within_budget(),
+            r.beats_static(),
+        ));
+    }
+    out.push_str("\n]}\n");
     out
 }
 

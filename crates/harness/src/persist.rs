@@ -31,11 +31,17 @@ use crate::runner::RunResult;
 /// threshold and retarget at the measurement boundary, so the value-cache
 /// contents entering the window (and with them the VAXX numbers) differ from
 /// the single-loop methodology that produced v5 entries.
-const MAGIC: &str = "# anoc-result v6";
+///
+/// v7: the fault-counter block grew `words_lost` (lossy-link erasures,
+/// DESIGN.md §12). A v6 payload's 7-field `faults` line cannot carry the new
+/// counter, and a v7 reader must not guess it as zero for runs that may have
+/// predated the loss model's bound-check gating change — so v6 entries are
+/// rejected and resimulated.
+const MAGIC: &str = "# anoc-result v7";
 
 /// The payload version this build writes and accepts (the numeric suffix of
 /// [`MAGIC`]); exposed so cache tooling can report version mixes.
-pub const RESULT_FORMAT_VERSION: u32 = 6;
+pub const RESULT_FORMAT_VERSION: u32 = 7;
 
 /// Extracts the result-format version of a stored payload without decoding
 /// it: `Some(3)` for a stale `# anoc-result v3` entry, `None` for payloads
@@ -103,7 +109,7 @@ pub fn encode_run_result(r: &RunResult) -> String {
     ));
     let fs = &s.faults;
     out.push_str(&format!(
-        "faults {} {} {} {} {} {} {}\n",
+        "faults {} {} {} {} {} {} {} {}\n",
         fs.bit_flips,
         fs.port_stalls,
         fs.credits_dropped,
@@ -111,6 +117,7 @@ pub fn encode_run_result(r: &RunResult) -> String {
         fs.dict_corruptions,
         fs.bound_checked_words,
         fs.bound_violations,
+        fs.words_lost,
     ));
     out.push_str(&format!("hist {}", s.latency_histogram.max()));
     for (b, c) in s.latency_histogram.nonzero_buckets() {
@@ -165,7 +172,7 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
     let q_sum = parse_f64_hex(q.next()?)?;
     let q_max = parse_f64_hex(q.next()?)?;
     let quality = QualityAccumulator::from_raw(q_words, q_sum, q_max);
-    let fs = parse_u64s::<7>(lines.next()?.strip_prefix("faults ")?)?;
+    let fs = parse_u64s::<8>(lines.next()?.strip_prefix("faults ")?)?;
 
     let mut h = lines
         .next()?
@@ -233,6 +240,7 @@ pub fn decode_run_result(payload: &str) -> Option<RunResult> {
                 dict_corruptions: fs[4],
                 bound_checked_words: fs[5],
                 bound_violations: fs[6],
+                words_lost: fs[7],
             },
             latency_histogram,
         },
@@ -312,7 +320,7 @@ mod tests {
         let good = encode_run_result(&r);
         assert!(decode_run_result("").is_none());
         assert!(decode_run_result("garbage").is_none());
-        assert!(decode_run_result(&good.replace("v6", "v5")).is_none());
+        assert!(decode_run_result(&good.replace("v7", "v6")).is_none());
         let truncated = &good[..good.rfind("activity_cycles").expect("field present")];
         assert!(decode_run_result(truncated).is_none());
         let unknown = good.replace("mechanism FP-VAXX", "mechanism NO-SUCH");
@@ -321,21 +329,21 @@ mod tests {
 
     #[test]
     fn stale_versions_are_rejected_not_misparsed() {
-        // Older payloads must be refused outright. A v5 entry decodes
-        // structurally but was produced by the pre-staged methodology, so
-        // accepting it would mix two different experiments in one figure; a
-        // v4 entry additionally lacks the `drained` line, and v3 predates
-        // the LZ-VAXX mechanism namespace.
+        // Older payloads must be refused outright. A v6 entry lacks the
+        // `words_lost` fault counter; a v5 entry was produced by the
+        // pre-staged methodology, so accepting it would mix two different
+        // experiments in one figure; a v4 entry additionally lacks the
+        // `drained` line, and v3 predates the LZ-VAXX mechanism namespace.
         let cfg = SystemConfig::paper().with_sim_cycles(1_000);
         let r = run_benchmark(Benchmark::X264, Mechanism::DiVaxx, &cfg, 2);
-        let v6 = encode_run_result(&r);
-        assert!(v6.starts_with("# anoc-result v6\n"), "{v6}");
-        for stale in [3u32, 4, 5] {
-            let old = v6.replacen("# anoc-result v6", &format!("# anoc-result v{stale}"), 1);
+        let v7 = encode_run_result(&r);
+        assert!(v7.starts_with("# anoc-result v7\n"), "{v7}");
+        for stale in [3u32, 4, 5, 6] {
+            let old = v7.replacen("# anoc-result v7", &format!("# anoc-result v{stale}"), 1);
             assert!(decode_run_result(&old).is_none());
             assert_eq!(payload_version(&old), Some(stale));
         }
-        assert_eq!(payload_version(&v6), Some(RESULT_FORMAT_VERSION));
+        assert_eq!(payload_version(&v7), Some(RESULT_FORMAT_VERSION));
         assert_eq!(payload_version("not a result"), None);
         assert_eq!(payload_version(""), None);
     }

@@ -212,11 +212,13 @@ pub fn try_run_custom(
     let mut sim = NocSim::new(config.noc.clone(), codecs);
     sim.set_shards(config.shards);
     sim.set_fault_plan(config.faults);
+    sim.set_loss_plan(config.loss);
+    sim.set_qos(config.qos);
     sim.set_watchdog(config.watchdog_horizon);
     let mut buf: Vec<Injection> = Vec::new();
     drive(&mut sim, source, config.warmup_cycles, &mut buf)?;
     if !matches!(mechanism, Mechanism::Custom(_)) {
-        sim.set_bound_check(config.threshold());
+        sim.set_bound_check(config.bound_threshold());
     }
     // Unconditional: a zero-cycle warmup (even with a zero-cycle measurement
     // window) still arms measurement, so the statistics are well-defined.
@@ -273,6 +275,8 @@ fn fresh_sim(mechanism: Mechanism, config: &SystemConfig) -> NocSim {
     let mut sim = NocSim::new(config.noc.clone(), codecs);
     sim.set_shards(config.shards);
     sim.set_fault_plan(config.faults);
+    sim.set_loss_plan(config.loss);
+    sim.set_qos(config.qos);
     sim.set_watchdog(config.watchdog_horizon);
     sim
 }
@@ -280,9 +284,21 @@ fn fresh_sim(mechanism: Mechanism, config: &SystemConfig) -> NocSim {
 /// The measurement boundary of a staged run: retarget the encoders to the
 /// configured threshold, arm the bound checker, start measuring.
 fn arm_measurement(sim: &mut NocSim, config: &SystemConfig) {
-    sim.set_error_threshold(config.threshold());
-    sim.set_bound_check(config.threshold());
+    rearm_thresholds(sim, config);
     sim.begin_measurement();
+}
+
+/// Re-arms the threshold machinery the snapshot format deliberately
+/// excludes. Statically-thresholded runs retarget every encoder to the
+/// configured threshold; QoS runs must NOT — the per-flow controllers own
+/// the encoder thresholds (lazily reinstalled per enqueue), and a global
+/// retarget here would stomp what the controllers learned. Either way the
+/// bound checker arms at [`SystemConfig::bound_threshold`].
+fn rearm_thresholds(sim: &mut NocSim, config: &SystemConfig) {
+    if !config.qos.is_active() {
+        sim.set_error_threshold(config.threshold());
+    }
+    sim.set_bound_check(config.bound_threshold());
 }
 
 /// Runs the measurement window from wherever `sim` currently stands to its
@@ -515,8 +531,7 @@ pub fn try_run_benchmark_snap(
                         // (threshold, bound check) but do NOT begin a new
                         // measurement — the restored one continues.
                         let skipped = sim.cycle();
-                        sim.set_error_threshold(config.threshold());
-                        sim.set_bound_check(config.threshold());
+                        rearm_thresholds(&mut sim, config);
                         let result = measure_and_finish_ckpt(
                             &mut sim,
                             &mut source,
@@ -889,6 +904,49 @@ mod tests {
         assert_eq!(
             crate::persist::encode_run_result(&fallback),
             crate::persist::encode_run_result(&cold)
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Regression: a forked QoS run must reprogram the encoders from the
+    /// snapshot's per-node installed percents. The staged path builds its
+    /// sims with exact-threshold codecs, and under QoS `arm_measurement`
+    /// deliberately skips the global retarget — so without the restore-side
+    /// reprogram the whole measurement window runs at the exact threshold
+    /// (quality 1.0, no approximation) and silently diverges from cold.
+    #[test]
+    fn forked_qos_run_matches_cold_run_bit_for_bit() {
+        let store = temp_store("fork-qos");
+        let cfg = SystemConfig::paper()
+            .with_sim_cycles(2_500)
+            .with_qos(anoc_core::control::QosSpec::paper(970_000))
+            .with_loss(anoc_noc::LossPlan::scaled(3, 5_000, 100));
+        let (bench, mech, seed) = (Benchmark::Blackscholes, Mechanism::FpVaxx, 13);
+        let wk = "warmup fork-qos-test";
+        assert!(
+            publish_benchmark_warmup(bench, mech, &cfg, seed, &store, wk).expect("warmup runs"),
+            "first publish simulates the warmup"
+        );
+        let policy = SnapshotPolicy {
+            store: Some(&store),
+            warmup_key: Some(wk.into()),
+            cell_key: None,
+            checkpoint_every: 0,
+            resume: false,
+        };
+        let (warm, info) =
+            try_run_benchmark_snap(bench, mech, &cfg, seed, &policy).expect("forked run");
+        assert!(info.forked && !info.resumed);
+        let cold = try_run_benchmark(bench, mech, &cfg, seed).expect("cold run");
+        assert!(
+            cold.data_quality() < 1.0,
+            "QoS measurement window must actually approximate"
+        );
+        assert!(cold.stats.faults.words_lost > 0, "loss plan must be live");
+        assert_eq!(
+            crate::persist::encode_run_result(&warm),
+            crate::persist::encode_run_result(&cold),
+            "forking the warmup changed the measured QoS result"
         );
         let _ = std::fs::remove_dir_all(store.dir());
     }

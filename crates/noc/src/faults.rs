@@ -107,6 +107,88 @@ impl Default for FaultPlan {
     }
 }
 
+/// A deterministic, seeded lossy-link plan — the LORAX-style degradation
+/// scenario family: every data-flit link traversal may lose one payload
+/// word, at a rate that *scales with how aggressively the payload was
+/// approximated* (a lower-swing, further-compressed signal is easier to
+/// lose). Lost words arrive zeroed; the delivered-word auditor and bound
+/// checker then account the damage like any other degradation.
+///
+/// Same discipline as [`FaultPlan`]: integer ppm rates, a dedicated RNG
+/// seed carried by the plan, and an inert plan draws no random numbers, so
+/// it is bit-identical to running without one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LossPlan {
+    /// Seed of the dedicated loss RNG stream (independent of the traffic
+    /// and fault streams).
+    pub seed: u64,
+    /// Base per-link-traversal probability (ppm) of erasing one payload
+    /// word of the traversing data packet.
+    pub loss_ppm: u32,
+    /// Additional loss probability (ppm) per percentage point of the
+    /// packet's approximation level at encode time: the effective rate of a
+    /// packet encoded under an `a%` threshold is
+    /// `loss_ppm + approx_scale_ppm * a`, saturating at [`PPM`].
+    pub approx_scale_ppm: u32,
+}
+
+impl LossPlan {
+    /// The inert plan: nothing is ever lost.
+    pub fn none() -> Self {
+        LossPlan {
+            seed: 0,
+            loss_ppm: 0,
+            approx_scale_ppm: 0,
+        }
+    }
+
+    /// A plan with a flat per-traversal rate, independent of approximation.
+    pub fn uniform(seed: u64, loss_ppm: u32) -> Self {
+        LossPlan {
+            seed,
+            loss_ppm,
+            approx_scale_ppm: 0,
+        }
+    }
+
+    /// A plan whose rate grows with the approximation level.
+    pub fn scaled(seed: u64, loss_ppm: u32, approx_scale_ppm: u32) -> Self {
+        LossPlan {
+            seed,
+            loss_ppm,
+            approx_scale_ppm,
+        }
+    }
+
+    /// Whether any traversal can lose anything. Inactive plans draw no
+    /// random numbers and perturb nothing.
+    pub fn is_active(&self) -> bool {
+        self.loss_ppm > 0 || self.approx_scale_ppm > 0
+    }
+
+    /// The effective loss rate (ppm) for a packet approximated under an
+    /// `approx_percent`% threshold, saturating at [`PPM`].
+    pub fn effective_ppm(&self, approx_percent: u32) -> u32 {
+        self.loss_ppm
+            .saturating_add(self.approx_scale_ppm.saturating_mul(approx_percent))
+            .min(PPM)
+    }
+
+    /// Canonical single-line rendering for campaign content keys.
+    pub fn key_fragment(&self) -> String {
+        format!(
+            "lseed={} loss={} lscale={}",
+            self.seed, self.loss_ppm, self.approx_scale_ppm
+        )
+    }
+}
+
+impl Default for LossPlan {
+    fn default() -> Self {
+        LossPlan::none()
+    }
+}
+
 /// Counters of injected faults and bound-checker outcomes, carried inside
 /// `NetStats` (reset with the measurement window like every other counter).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -125,6 +207,8 @@ pub struct FaultStats {
     pub bound_checked_words: u64,
     /// Delivered words whose relative error exceeded the active threshold.
     pub bound_violations: u64,
+    /// Payload words erased by an active [`LossPlan`] (delivered as zero).
+    pub words_lost: u64,
 }
 
 /// A structured, diagnosable simulation failure.
@@ -319,6 +403,39 @@ mod tests {
             a.key_fragment(),
             FaultPlan::bit_flips(7, 100).key_fragment()
         );
+    }
+
+    #[test]
+    fn inert_loss_plan_is_inactive() {
+        assert!(!LossPlan::none().is_active());
+        assert!(!LossPlan::default().is_active());
+        assert!(LossPlan::uniform(1, 100).is_active());
+        assert!(LossPlan::scaled(1, 0, 10).is_active());
+    }
+
+    #[test]
+    fn loss_rate_scales_with_approximation_level() {
+        let p = LossPlan::scaled(3, 1_000, 500);
+        assert_eq!(p.effective_ppm(0), 1_000);
+        assert_eq!(p.effective_ppm(10), 6_000);
+        assert_eq!(p.effective_ppm(20), 11_000);
+        // Saturates at certainty, never overflows.
+        let extreme = LossPlan::scaled(3, PPM, u32::MAX);
+        assert_eq!(extreme.effective_ppm(100), PPM);
+        let flat = LossPlan::uniform(3, 2_000);
+        assert_eq!(flat.effective_ppm(20), 2_000);
+    }
+
+    #[test]
+    fn loss_key_fragment_distinguishes_plans() {
+        let a = LossPlan::uniform(7, 100);
+        let b = LossPlan::uniform(7, 200);
+        let c = LossPlan::uniform(8, 100);
+        let d = LossPlan::scaled(7, 100, 5);
+        assert_ne!(a.key_fragment(), b.key_fragment());
+        assert_ne!(a.key_fragment(), c.key_fragment());
+        assert_ne!(a.key_fragment(), d.key_fragment());
+        assert_eq!(a.key_fragment(), LossPlan::uniform(7, 100).key_fragment());
     }
 
     #[test]

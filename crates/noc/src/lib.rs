@@ -40,7 +40,7 @@ pub mod stats;
 pub mod topology;
 
 pub use config::NocConfig;
-pub use faults::{FaultPlan, FaultStats, SimError};
+pub use faults::{FaultPlan, FaultStats, LossPlan, SimError};
 pub use histogram::LatencyHistogram;
 pub use ni::NodeCodec;
 pub use packet::{Delivered, PacketId, PacketKind};

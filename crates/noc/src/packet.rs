@@ -89,6 +89,14 @@ pub struct PacketState {
     /// in flight: `(word index, bit index)` pairs applied to the decoded
     /// block at delivery. Empty (and allocation-free) without faults.
     pub corrupt: Vec<(u32, u32)>,
+    /// The error-threshold percentage the payload was encoded under (0 for
+    /// exact encodes and control packets) — the approximation level an
+    /// active `LossPlan` scales its per-hop loss rate with.
+    pub approx_level: u32,
+    /// Payload word indices erased by lossy links while the packet's flits
+    /// were in flight; zeroed in the decoded block at delivery. Empty (and
+    /// allocation-free) without an active loss plan.
+    pub lost: Vec<u32>,
     /// Whether this packet belongs to the measurement window.
     pub measured: bool,
 }

@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 
 use anoc_core::avcl::Avcl;
 use anoc_core::codec::Notification;
+use anoc_core::control::{FlowControllerBank, QosSpec};
 use anoc_core::data::{CacheBlock, NodeId};
 use anoc_core::rng::Pcg32;
 use anoc_core::threshold::ErrorThreshold;
@@ -37,7 +38,7 @@ use anoc_exec::WorkerSet;
 
 use crate::config::NocConfig;
 use crate::faults::{
-    BoundViolation, DeadlockDump, FaultPlan, RouterDiag, SimError, StuckPacket, PPM,
+    BoundViolation, DeadlockDump, FaultPlan, LossPlan, RouterDiag, SimError, StuckPacket, PPM,
 };
 use crate::ni::NodeCodec;
 use crate::packet::{Delivered, Flit, PacketId, PacketKind, PacketState, TraceEvent};
@@ -85,6 +86,19 @@ pub struct NocSim {
     /// Dedicated fault RNG stream, seeded from the plan — independent of
     /// every traffic RNG so enabling faults never perturbs offered load.
     fault_rng: Pcg32,
+    /// Active lossy-link plan (inert by default).
+    loss: LossPlan,
+    /// Dedicated loss RNG stream, seeded from the loss plan — independent
+    /// of the traffic and fault streams, so the three scenario families
+    /// compose without perturbing each other.
+    loss_rng: Pcg32,
+    /// Per-flow QoS control plane (armed via [`NocSim::set_qos`]).
+    qos: Option<FlowControllerBank>,
+    /// The threshold percentage currently programmed into each node's
+    /// encoder — what the per-flow lazy-install path compares against
+    /// before rewriting TCAM mask planes, and the approximation level the
+    /// loss model scales with. 0 until a threshold is installed.
+    installed_percent: Vec<u32>,
     /// End-to-end bound checker: every delivered data word is compared to
     /// its golden copy against this threshold when set.
     bound_check: Option<ErrorThreshold>,
@@ -138,6 +152,7 @@ impl NocSim {
         );
         let shards = build_shards(&config, 1);
         let router_shard = router_shard_map(&shards, mesh.num_routers());
+        let num_nodes = mesh.num_nodes();
         NocSim {
             config,
             mesh,
@@ -156,6 +171,11 @@ impl NocSim {
             faults: FaultPlan::none(),
             // anoc-lint: rng-site: inert placeholder; re-seeded by set_fault_plan before any draw
             fault_rng: Pcg32::seed_from_u64(0),
+            loss: LossPlan::none(),
+            // anoc-lint: rng-site: inert placeholder; re-seeded by set_loss_plan before any draw
+            loss_rng: Pcg32::seed_from_u64(0),
+            qos: None,
+            installed_percent: vec![0; num_nodes],
             bound_check: None,
             watchdog: None,
             last_progress: 0,
@@ -204,6 +224,55 @@ impl NocSim {
     /// The active fault plan.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Installs a lossy-link plan and seeds the dedicated loss RNG from it.
+    /// An inert plan ([`LossPlan::none`]) draws no random numbers, so the
+    /// run stays bit-identical to one without any plan. The loss stream is
+    /// independent of both the traffic and the fault streams, so the
+    /// scenario families compose without perturbing each other.
+    pub fn set_loss_plan(&mut self, plan: LossPlan) {
+        // anoc-lint: rng-site: dedicated loss stream, seeded from the plan (thread-count independent)
+        self.loss_rng = Pcg32::seed_from_u64(plan.seed);
+        self.loss = plan;
+    }
+
+    /// The active lossy-link plan.
+    pub fn loss_plan(&self) -> &LossPlan {
+        &self.loss
+    }
+
+    /// Arms (or disarms) the per-flow QoS control plane. An active spec
+    /// builds one AIMD controller per (source node, destination class) flow;
+    /// each control epoch the realized delivered quality of that flow
+    /// tightens or relaxes the flow's error threshold, lazily reprogrammed
+    /// into the source encoder on the next enqueue. An inert spec
+    /// ([`QosSpec::off`]) disarms the plane entirely.
+    ///
+    /// The controllers observe *every* delivered data packet (not only
+    /// measured ones): the control plane is runtime machinery, not a
+    /// statistics consumer, so warmup traffic trains it exactly as the
+    /// measurement window does.
+    pub fn set_qos(&mut self, spec: QosSpec) {
+        self.qos = spec
+            .is_active()
+            .then(|| FlowControllerBank::new(self.mesh.num_nodes(), spec));
+        for slot in &mut self.installed_percent {
+            *slot = 0;
+        }
+    }
+
+    /// The armed QoS spec, if any.
+    pub fn qos_spec(&self) -> Option<QosSpec> {
+        self.qos.as_ref().map(|bank| *bank.spec())
+    }
+
+    /// Current per-flow threshold percentages of the armed QoS plane
+    /// (row-major: `node * classes + class`), or `None` when disarmed.
+    pub fn qos_percents(&self) -> Option<Vec<u32>> {
+        self.qos
+            .as_ref()
+            .map(|bank| bank.percents().map(|(_, p)| p).collect())
     }
 
     /// Enables the end-to-end bound checker: every delivered data word is
@@ -328,6 +397,20 @@ impl NocSim {
     /// source NI's encoder immediately (the compression latency is accounted
     /// on the injection path per §4.3).
     pub fn enqueue_data(&mut self, src: NodeId, dest: NodeId, block: CacheBlock) -> PacketId {
+        // Per-flow QoS: lazily reprogram the source encoder when this flow's
+        // controller has moved away from what the encoder currently carries.
+        // The compare-before-install keeps TCAM mask-plane rewrites off the
+        // common path (thresholds move only at epoch boundaries).
+        if let Some(bank) = &self.qos {
+            let desired = bank.percent_for(src.index(), dest.index());
+            if self.installed_percent[src.index()] != desired {
+                self.codecs[src.index()]
+                    .encoder
+                    .set_error_threshold(bank.threshold_for(src.index(), dest.index()));
+                self.installed_percent[src.index()] = desired;
+            }
+        }
+        let approx_level = self.installed_percent[src.index()];
         let encoder = &mut self.codecs[src.index()].encoder;
         if self.faults.dict_corrupt_ppm > 0
             && self.fault_rng.below(PPM) < self.faults.dict_corrupt_ppm
@@ -375,6 +458,8 @@ impl NocSim {
             precise: Some(block),
             notification: None,
             corrupt: Vec::new(),
+            approx_level,
+            lost: Vec::new(),
             measured: self.measuring,
         })
     }
@@ -401,6 +486,8 @@ impl NocSim {
             precise: None,
             notification,
             corrupt: Vec::new(),
+            approx_level: 0,
+            lost: Vec::new(),
             measured: self.measuring,
         })
     }
@@ -468,6 +555,15 @@ impl NocSim {
             }
         }
         self.cycle = now + 1;
+        // QoS control epoch: runs in the serial epilogue, after the phase-B2
+        // barrier, so every controller observes a consistent delivered-quality
+        // snapshot regardless of shard or thread count. Flows are walked in
+        // ascending index order — fully deterministic.
+        if let Some(bank) = &mut self.qos {
+            if bank.epoch_due(self.cycle) {
+                bank.run_epoch();
+            }
+        }
         if self.measuring {
             self.stats.cycles += 1;
         }
@@ -570,6 +666,16 @@ impl NocSim {
                 {
                     self.flip_payload_bit(t.flit.slot);
                 }
+                // Lossy links: one draw from the dedicated loss stream per
+                // traversal whenever a plan is active, so the draw order is
+                // the same global router-ascending traversal order as the
+                // fault stream — and independent of it.
+                if self.loss.is_active() {
+                    let rate = self.loss.effective_ppm(self.approx_level_of(t.flit.slot));
+                    if self.loss_rng.below(PPM) < rate {
+                        self.erase_payload_word(t.flit.slot);
+                    }
+                }
                 self.schedule(now + 2, t.dest, t.out_vc, t.flit);
             }
             self.shards[i].outgoing = outgoing;
@@ -619,6 +725,36 @@ impl NocSim {
         let bit = self.fault_rng.below(u32::BITS);
         p.corrupt.push((word, bit));
         self.stats.faults.bit_flips += 1;
+    }
+
+    /// The approximation level the packet in `slot` was encoded under (0
+    /// for control packets and freed slots) — what an active [`LossPlan`]
+    /// scales its per-hop loss rate with.
+    fn approx_level_of(&self, slot: u32) -> u32 {
+        let owner = shard_of_slot(slot);
+        self.shards[owner].packets[local_of_slot(slot)]
+            .as_ref()
+            .map_or(0, |p| p.approx_level)
+    }
+
+    /// Records one lossy-link word erasure against the packet in `slot`: a
+    /// random payload word, zeroed in the decoded block at delivery so the
+    /// golden copy stays intact for the bound checker and quality audit.
+    fn erase_payload_word(&mut self, slot: u32) {
+        let owner = shard_of_slot(slot);
+        let Some(p) = self.shards[owner].packets[local_of_slot(slot)].as_mut() else {
+            return;
+        };
+        let Some(block) = &p.precise else {
+            return; // control packets carry no payload to lose
+        };
+        let words = block.len() as u32;
+        if words == 0 {
+            return;
+        }
+        let word = self.loss_rng.below(words);
+        p.lost.push(word);
+        self.stats.faults.words_lost += 1;
     }
 
     /// How many times to return one freed credit under the active plan:
@@ -794,12 +930,15 @@ impl NocSim {
         for c in &mut self.codecs {
             c.encoder.set_error_threshold(threshold);
         }
+        for slot in &mut self.installed_percent {
+            *slot = threshold.percent();
+        }
     }
 
     /// Serializes the complete simulator state into a versioned, endian-
     /// stable blob (DESIGN.md §11): routers, NIs, the packet slab, the event
-    /// ring, the fault-RNG cursor, progress bookkeeping, statistics and the
-    /// codec tables. `fingerprint` should digest every configuration input
+    /// ring, the fault- and loss-RNG cursors, the QoS control plane,
+    /// progress bookkeeping, statistics and the codec tables. `fingerprint` should digest every configuration input
     /// that shapes the simulation; [`NocSim::restore_snapshot`] refuses a
     /// blob saved under a different fingerprint.
     ///
@@ -835,6 +974,9 @@ impl NocSim {
         let (state, inc) = self.fault_rng.state_parts();
         w.u64(state);
         w.u64(inc);
+        let (loss_state, loss_inc) = self.loss_rng.state_parts();
+        w.u64(loss_state);
+        w.u64(loss_inc);
         // Packet slab, in canonical order (shard-ascending, slab-index-
         // ascending). Slots are position-dependent — free-list history and
         // shard count shape them — so flits serialize the packet's *rank* in
@@ -931,15 +1073,32 @@ impl NocSim {
             c.encoder.save_state(&mut w);
             c.decoder.save_state(&mut w);
         }
+        // Installed-threshold tracking, in global node order: what the
+        // per-flow lazy-install path compares against. Serialized so a
+        // restored run reprograms encoders at exactly the same enqueues an
+        // uninterrupted run would.
+        for &pct in &self.installed_percent {
+            w.u32(pct);
+        }
+        // QoS control plane: the restoring simulator must have armed the
+        // same spec (restore refuses an armament mismatch), and the
+        // serialized controller/accumulator state then overwrites arming.
+        w.bool(self.qos.is_some());
+        if let Some(bank) = &self.qos {
+            bank.save_state(&mut w);
+        }
         Ok(w.into_bytes())
     }
 
     /// Restores state saved by [`NocSim::save_snapshot`] into a simulator
     /// built from the same configuration, at any shard count. The caller
     /// must re-arm everything the snapshot deliberately excludes — fault
-    /// plan, watchdog, bound checker — *before* restoring: the restored
-    /// fault-RNG cursor and progress clock then overwrite what arming reset,
-    /// resuming the faulted run mid-stream instead of reseeding it.
+    /// plan, loss plan, QoS spec, watchdog, bound checker — *before*
+    /// restoring: the restored fault- and loss-RNG cursors, controller
+    /// state and progress clock then overwrite what arming reset, resuming
+    /// the degraded run mid-stream instead of reseeding it. Restoring a
+    /// blob saved with an armed QoS plane into a simulator without one (or
+    /// vice versa) is refused as a [`SnapshotError::Structure`] mismatch.
     ///
     /// A stale, foreign or corrupt blob is rejected with a typed
     /// [`SnapshotError`]. Header checks (magic, version, fingerprint,
@@ -973,6 +1132,8 @@ impl NocSim {
         let last_progress = r.u64()?;
         let rng_state = r.u64()?;
         let rng_inc = r.u64()?;
+        let loss_rng_state = r.u64()?;
+        let loss_rng_inc = r.u64()?;
         let count = r.usize()?;
         if count > SLOT_MASK as usize {
             return Err(SnapshotError::Structure("packet count"));
@@ -1076,6 +1237,17 @@ impl NocSim {
             c.encoder.load_state(&mut r)?;
             c.decoder.load_state(&mut r)?;
         }
+        let mut installed = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            installed.push(r.u32()?);
+        }
+        let qos_armed = r.bool()?;
+        if qos_armed != self.qos.is_some() {
+            return Err(SnapshotError::Structure("QoS armament mismatch"));
+        }
+        if let Some(bank) = &mut self.qos {
+            bank.load_state(&mut r)?;
+        }
         if !r.is_exhausted() {
             return Err(SnapshotError::Structure("trailing bytes"));
         }
@@ -1086,6 +1258,26 @@ impl NocSim {
         self.live_packets = count;
         // anoc-lint: rng-site: resuming a serialized cursor, not reseeding
         self.fault_rng = Pcg32::from_state_parts(rng_state, rng_inc);
+        // anoc-lint: rng-site: resuming a serialized cursor, not reseeding
+        self.loss_rng = Pcg32::from_state_parts(loss_rng_state, loss_rng_inc);
+        self.installed_percent = installed;
+        // The snapshot format deliberately excludes encoder threshold
+        // machinery: statically-thresholded runs re-arm it globally after
+        // restore. Under QoS the controllers own the thresholds and the lazy
+        // per-enqueue install compares against `installed_percent`, so the
+        // restored record must be made true of the encoders again — without
+        // this, an encoder keeps whatever threshold the fresh sim was built
+        // with for as long as its flow's percent does not change.
+        if self.qos.is_some() {
+            for node in 0..num_nodes {
+                let pct = self.installed_percent[node];
+                if pct > 0 {
+                    let threshold = ErrorThreshold::from_percent(pct)
+                        .map_err(|_| SnapshotError::Structure("installed threshold percent"))?;
+                    self.codecs[node].encoder.set_error_threshold(threshold);
+                }
+            }
+        }
         self.stats = stats;
         self.delivered.clear();
         self.traces.clear();
@@ -1164,6 +1356,26 @@ impl NocSim {
                 }
             }
         }
+        // Lossy-link erasures likewise land on the decoded data: the erased
+        // words arrive zeroed, as a link-level CRC-and-drop would deliver.
+        if !p.lost.is_empty() {
+            if let Some(b) = &mut block {
+                let words = b.words_mut();
+                for &w in &p.lost {
+                    if let Some(word) = words.get_mut(w as usize) {
+                        *word = 0;
+                    }
+                }
+            }
+        }
+        // QoS audit tap: every delivered data packet (measured or not) feeds
+        // its flow's accumulator with the realized application-level quality
+        // of what the consumer actually reads — corruption and loss included.
+        if let Some(bank) = &mut self.qos {
+            if let (Some(precise), Some(decoded)) = (&p.precise, &block) {
+                bank.observe_block(p.src.index(), p.dest.index(), precise, decoded);
+            }
+        }
         self.check_bound(&p, block.as_ref(), now);
         if let Some(note) = p.notification {
             // An in-band dictionary notification reaching its encoder.
@@ -1212,8 +1424,8 @@ impl NocSim {
 
     /// End-to-end bound check: every delivered word must be within the
     /// active threshold of its golden counterpart. Violations are always
-    /// counted; they are fatal only when no faults are being injected,
-    /// because then they can only mean a codec bug.
+    /// counted; they are fatal only when neither faults nor link loss are
+    /// being injected, because then they can only mean a codec bug.
     fn check_bound(&mut self, p: &PacketState, block: Option<&CacheBlock>, now: u64) {
         let Some(threshold) = self.bound_check else {
             return;
@@ -1234,7 +1446,7 @@ impl NocSim {
             };
             if violated {
                 self.stats.faults.bound_violations += 1;
-                if self.fatal.is_none() && !self.faults.is_active() {
+                if self.fatal.is_none() && !self.faults.is_active() && !self.loss.is_active() {
                     self.fatal = Some(SimError::BoundViolation(BoundViolation {
                         cycle: now,
                         packet: p.id,

@@ -18,9 +18,11 @@
 //!   saved at one shard count restores bit-identically at any other;
 //! * the delivered-packet log and per-packet traces — observability state
 //!   the driver drains each step; saving refuses if either is non-empty;
-//! * the bound checker, watchdog and fault *plan* — armed by the caller,
-//!   who must re-arm them before restoring (the restored fault-RNG cursor
-//!   and progress clock then overwrite what arming reset).
+//! * the bound checker, watchdog, fault *plan*, loss *plan* and QoS *spec*
+//!   — armed by the caller, who must re-arm them before restoring (the
+//!   restored fault/loss RNG cursors, controller-bank state and progress
+//!   clock then overwrite what arming reset; a blob carrying QoS state
+//!   refuses to restore into a simulator whose bank is not armed).
 //!
 //! Serialization uses the little-endian primitives of [`anoc_core::snap`],
 //! so blobs are byte-stable across hosts.
@@ -42,7 +44,12 @@ use crate::stats::NetStats;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ANOCSNAP";
 
 /// Current snapshot format version. Bump on any layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: packets carry their approximation level and lossy-link erasures,
+/// `FaultStats` gained `words_lost`, and the blob serializes the loss-RNG
+/// cursor plus (when armed) the per-flow QoS controller bank. v1 blobs
+/// predate all of that and are rejected, never misparsed.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A typed failure while saving or restoring a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -440,6 +447,11 @@ pub(crate) fn save_packet(w: &mut SnapWriter, p: &PacketState) {
         w.u32(word);
         w.u32(bit);
     }
+    w.u32(p.approx_level);
+    w.usize(p.lost.len());
+    for &word in &p.lost {
+        w.u32(word);
+    }
     w.bool(p.measured);
 }
 
@@ -484,6 +496,15 @@ pub(crate) fn load_packet(r: &mut SnapReader<'_>) -> Result<PacketState, SnapErr
         let bit = r.u32()?;
         corrupt.push((word, bit));
     }
+    let approx_level = r.u32()?;
+    let nl = r.usize()?;
+    if nl > 1 << 24 {
+        return Err(SnapError::Invalid("loss event count"));
+    }
+    let mut lost = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        lost.push(r.u32()?);
+    }
     let measured = r.bool()?;
     Ok(PacketState {
         id,
@@ -501,6 +522,8 @@ pub(crate) fn load_packet(r: &mut SnapReader<'_>) -> Result<PacketState, SnapErr
         precise,
         notification,
         corrupt,
+        approx_level,
+        lost,
         measured,
     })
 }
@@ -537,6 +560,7 @@ pub(crate) fn save_stats(w: &mut SnapWriter, s: &NetStats) {
         f.dict_corruptions,
         f.bound_checked_words,
         f.bound_violations,
+        f.words_lost,
     ] {
         w.u64(v);
     }
@@ -576,6 +600,7 @@ pub(crate) fn load_stats(r: &mut SnapReader<'_>) -> Result<NetStats, SnapError> 
         dict_corruptions: r.u64()?,
         bound_checked_words: r.u64()?,
         bound_violations: r.u64()?,
+        words_lost: r.u64()?,
     };
     let hist_max = r.u64()?;
     let nb = r.usize()?;

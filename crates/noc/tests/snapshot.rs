@@ -73,7 +73,7 @@ fn fingerprint(sim: &NocSim) -> String {
     let s = sim.stats();
     let f = &s.faults;
     format!(
-        "cyc={} pk={} dp={} fi={} fd={} ql={} nl={} bf={} enc={}/{}/{} bits={}/{} q={:.12} hist_p99={} max={} flips={} stalls={} checked={} viol={}",
+        "cyc={} pk={} dp={} fi={} fd={} ql={} nl={} bf={} enc={}/{}/{} bits={}/{} q={:.12} hist_p99={} max={} flips={} stalls={} checked={} viol={} lost={}",
         s.cycles,
         s.packets,
         s.data_packets,
@@ -94,6 +94,7 @@ fn fingerprint(sim: &NocSim) -> String {
         f.port_stalls,
         f.bound_checked_words,
         f.bound_violations,
+        f.words_lost,
     )
 }
 
@@ -213,6 +214,77 @@ fn fault_active_fork_preserves_the_violation_curve() {
     assert!(*viol.last().expect("nonempty") > 0, "{viol:?}");
 }
 
+/// Tentpole regression: a run with an *armed per-flow QoS controller* and an
+/// *active lossy-link plan* saved mid-run must restore bit-identically at a
+/// different shard count — controller percents, cooldowns, lazily installed
+/// encoder thresholds and the loss-RNG cursor all resume exactly. The
+/// arming calls come *before* `restore_snapshot` (the fault-campaign
+/// ordering contract); the restored state overwrites what arming reset.
+#[test]
+fn qos_and_loss_active_fork_restores_exactly_across_shard_counts() {
+    use anoc_core::control::QosSpec;
+    use anoc_noc::LossPlan;
+
+    let threshold = ErrorThreshold::from_percent(20).expect("valid");
+    let spec = QosSpec::paper(970_000);
+    let plan = LossPlan::scaled(17, 5_000, 100);
+    let arm = |sim: &mut NocSim| {
+        sim.set_qos(spec);
+        sim.set_loss_plan(plan);
+        sim.set_bound_check(threshold);
+    };
+
+    // Uninterrupted run: enough cycles that at least two control epochs
+    // fire (epoch is 500 cycles) and the lossy links erase words, so the
+    // snapshot carries genuinely adapted controller state.
+    let mut cold = di_vaxx_sim(NocConfig::mesh_3x3(), threshold);
+    arm(&mut cold);
+    cold.begin_measurement();
+    run_traffic(&mut cold, 5, 0, 1_100);
+    assert!(
+        cold.stats().faults.words_lost > 0,
+        "lossy plan should have erased words before the save"
+    );
+    let percents_at_save = cold.qos_percents().expect("armed bank");
+    assert!(
+        percents_at_save.iter().any(|&p| p != spec.initial_percent),
+        "controllers should have adapted before the save: {percents_at_save:?}"
+    );
+    let blob = cold.save_snapshot(FP).expect("save mid-campaign");
+    run_traffic(&mut cold, 5, 1_100, 600);
+    assert!(cold.try_drain(100_000).expect("drain cold"));
+    let want = fingerprint(&cold);
+
+    for shards in [1usize, 2, 4] {
+        // The restoring sim is built with *exact-threshold* codecs — the
+        // shape of the harness's staged path — so this also proves restore
+        // reprograms the encoders from the serialized per-node installed
+        // percents rather than trusting construction state.
+        let mut warm = di_vaxx_sim(NocConfig::mesh_3x3(), ErrorThreshold::exact());
+        warm.set_shards(shards);
+        arm(&mut warm);
+        warm.restore_snapshot(&blob, FP).expect("restore");
+        assert_eq!(
+            warm.qos_percents().expect("armed bank"),
+            percents_at_save,
+            "controller state must resume exactly"
+        );
+        run_traffic(&mut warm, 5, 1_100, 600);
+        assert!(warm.try_drain(100_000).expect("drain warm"));
+        assert_eq!(fingerprint(&warm), want, "shard count {shards} diverged");
+    }
+
+    // Armament mismatch is a typed structural error, not silent divergence:
+    // the blob says a QoS bank exists, the target sim has none.
+    let mut unarmed = di_vaxx_sim(NocConfig::mesh_3x3(), threshold);
+    unarmed.set_loss_plan(plan);
+    unarmed.set_bound_check(threshold);
+    let err = unarmed
+        .restore_snapshot(&blob, FP)
+        .expect_err("unarmed target accepted a QoS-armed blob");
+    assert_eq!(err, SnapshotError::Structure("QoS armament mismatch"));
+}
+
 #[test]
 fn stale_or_corrupt_blobs_fail_as_typed_errors() {
     let mut sim = baseline_sim(NocConfig::mesh_3x3());
@@ -240,13 +312,17 @@ fn stale_or_corrupt_blobs_fail_as_typed_errors() {
         .expect_err("bad magic accepted");
     assert_eq!(err, SnapshotError::BadMagic);
 
-    // Stale format: wrong version word (bytes 8..12, little-endian).
-    let mut stale = blob.clone();
-    stale[8..12].copy_from_slice(&99u32.to_le_bytes());
-    let err = baseline_sim(NocConfig::mesh_3x3())
-        .restore_snapshot(&stale, FP)
-        .expect_err("wrong version accepted");
-    assert_eq!(err, SnapshotError::BadVersion(99));
+    // Stale format: wrong version word (bytes 8..12, little-endian). The
+    // previous on-disk generation (v1, before the QoS/loss planes) must be
+    // rejected the same way as an unknown future version.
+    for stale_version in [1u32, 99] {
+        let mut stale = blob.clone();
+        stale[8..12].copy_from_slice(&stale_version.to_le_bytes());
+        let err = baseline_sim(NocConfig::mesh_3x3())
+            .restore_snapshot(&stale, FP)
+            .expect_err("wrong version accepted");
+        assert_eq!(err, SnapshotError::BadVersion(stale_version));
+    }
 
     // Different configuration: fingerprint mismatch.
     let err = baseline_sim(NocConfig::mesh_3x3())
